@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate each paper table/figure at a reduced-but-
+representative scale and assert the *qualitative* orderings the paper
+reports (who wins, by roughly what factor).  Expensive setups are session-
+scoped so the data is built once.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.experiments import Scale, load_chronic
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return Scale.small()
+
+
+@pytest.fixture(scope="session")
+def chronic_data(bench_scale):
+    return load_chronic(bench_scale)

@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Table III (Suggestion Satisfaction).
+
+The paper's claim: DSSDDI suggests drug sets with more internal synergy and
+more avoided antagonists, so its SS@k clearly beats the non-DDI-aware
+methods at the polypharmacy-relevant cutoffs (k >= 4).
+"""
+
+import pytest
+
+from repro.experiments import run_table3
+
+METHODS = ("ECC", "SVM", "SafeDrug", "LightGCN", "DSSDDI(SGCN)")
+
+
+@pytest.fixture(scope="module")
+def table3_result(chronic_data, bench_scale):
+    return run_table3(scale=bench_scale, methods=METHODS, data=chronic_data)
+
+
+def test_bench_table3(benchmark, chronic_data, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_table3(
+            scale=bench_scale, methods=("DSSDDI(SGCN)",), data=chronic_data
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert "DSSDDI(SGCN)" in result.satisfaction
+
+
+class TestTable3Shape:
+    def test_dssddi_beats_traditional_at_k4(self, table3_result):
+        ss = table3_result.satisfaction
+        for weak in ("ECC", "SVM"):
+            assert ss["DSSDDI(SGCN)"][4] > ss[weak][4]
+
+    def test_dssddi_beats_traditional_at_k5_and_6(self, table3_result):
+        ss = table3_result.satisfaction
+        for k in (5, 6):
+            traditional_best = max(ss["ECC"][k], ss["SVM"][k])
+            assert ss["DSSDDI(SGCN)"][k] > traditional_best
+
+    def test_ss_values_in_unit_interval(self, table3_result):
+        for method, by_k in table3_result.satisfaction.items():
+            for k, value in by_k.items():
+                assert 0.0 <= value <= 1.0, (method, k)
+
+    def test_ss_decreases_with_k(self, table3_result):
+        """Larger suggestion sets dilute synergy (paper: SS@2 >> SS@6)."""
+        for method, by_k in table3_result.satisfaction.items():
+            assert by_k[2] > by_k[6], method

@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Table IV (synthetic MIMIC-III validation).
+
+Paper shape: every strong method lands in a narrow band (all within ~5% of
+each other), graph methods lead, CauseRec collapses (it cannot exploit
+first-visit-style features), and DSSDDI(GIN) is at the top of the band.
+"""
+
+import pytest
+
+from repro.experiments import Scale, run_table4
+
+METHODS = ("UserSim", "ECC", "LightGCN", "CauseRec", "DSSDDI(GIN)")
+
+
+@pytest.fixture(scope="module")
+def table4_result(bench_scale):
+    return run_table4(scale=bench_scale, methods=METHODS, num_patients=500)
+
+
+def test_bench_table4(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_table4(
+            scale=bench_scale, methods=("DSSDDI(GIN)",), num_patients=500
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert "DSSDDI(GIN)" in result.metrics
+
+
+class TestTable4Shape:
+    def test_causerec_collapses(self, table4_result):
+        """Paper: CauseRec P@8 = 0.12 vs everyone else >= 0.54."""
+        m = table4_result.metrics
+        assert m["CauseRec"][8]["precision"] < 0.8 * m["DSSDDI(GIN)"][8]["precision"]
+
+    def test_dssddi_in_top_band(self, table4_result):
+        m = table4_result.metrics
+        best = max(m[x][8]["ndcg"] for x in m)
+        assert m["DSSDDI(GIN)"][8]["ndcg"] >= 0.85 * best
+
+    def test_dssddi_beats_usersim(self, table4_result):
+        m = table4_result.metrics
+        assert m["DSSDDI(GIN)"][8]["ndcg"] > m["UserSim"][8]["ndcg"]
+
+    def test_values_in_range(self, table4_result):
+        for method, by_k in table4_result.metrics.items():
+            for entry in by_k.values():
+                assert all(0.0 <= v <= 1.0 for v in entry.values()), method

@@ -1,0 +1,13 @@
+"""Ensure the in-tree sources are importable even without an editable install.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot complete; ``python setup.py develop`` works, but this shim makes the
+test-suite robust either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,78 @@
+"""Multi-visit EHR workflow on the synthetic MIMIC-III data (paper Sec. V-E).
+
+Previous visits' diagnosis/procedure codes are the patient features and the
+last visit's medications the prediction target.  The MIMIC DDI extract
+contains only antagonistic pairs between anonymous drugs, so the GIN
+backbone is used (signed backbones need both edge signs).
+
+Compares DSSDDI(GIN) against LightGCN and the visit-sequential SafeDrug.
+
+Usage::
+
+    python examples/mimic_workflow.py
+"""
+
+import numpy as np
+
+from repro.baselines import LightGCNRecommender, SafeDrug
+from repro.core import DDIModule, MDModule
+from repro.core.config import DDIGCNConfig, MDGCNConfig
+from repro.data import generate_mimic, split_patients, visit_step_features
+from repro.metrics import ndcg_at_k, precision_at_k, recall_at_k
+
+
+def evaluate(name, scores, labels):
+    for k in (4, 8):
+        print(
+            f"  {name:12s} k={k}: P={precision_at_k(scores, labels, k):.4f} "
+            f"R={recall_at_k(scores, labels, k):.4f} "
+            f"NDCG={ndcg_at_k(scores, labels, k):.4f}"
+        )
+
+
+def main() -> None:
+    print("Generating the synthetic MIMIC-III cohort ...")
+    data = generate_mimic(num_patients=800, seed=23)
+    split = split_patients(data.num_patients, seed=3)
+    x_train, y_train = data.features[split.train], data.labels[split.train]
+    x_test, y_test = data.features[split.test], data.labels[split.test]
+    print(
+        f"  {data.num_patients} patients, {data.num_drugs} anonymous drugs, "
+        f"{data.ddi.num_edges} antagonistic DDI pairs"
+    )
+
+    print("\nTraining DSSDDI(GIN) on the antagonism-only DDI graph ...")
+    ddi_module = DDIModule(DDIGCNConfig(backbone="gin", hidden_dim=32, epochs=80))
+    ddi_module.fit(data.ddi)
+    md = MDModule(MDGCNConfig(hidden_dim=32, epochs=150))
+    md.fit(
+        x_train,
+        y_train,
+        np.eye(data.num_drugs),
+        data.ddi,
+        ddi_module.drug_embeddings(),
+        num_clusters=10,
+    )
+    dssddi_scores = md.predict_scores(x_test)
+
+    print("Training LightGCN ...")
+    lightgcn = LightGCNRecommender(hidden_dim=32, epochs=120)
+    lightgcn.fit(x_train, y_train)
+    lightgcn_scores = lightgcn.predict_scores(x_test)
+
+    print("Training SafeDrug on the true visit sequences ...")
+    steps = visit_step_features(data, max_visits=3)
+    steps_train = [s[split.train] for s in steps]
+    steps_test = [s[split.test] for s in steps]
+    safedrug = SafeDrug(hidden_dim=32, epochs=120, ddi_graph=data.ddi)
+    safedrug.fit(x_train, y_train, visit_steps=steps_train)
+    safedrug_scores = safedrug.predict_scores(x_test, visit_steps=steps_test)
+
+    print("\nLast-visit medication prediction on held-out patients:")
+    evaluate("DSSDDI(GIN)", dssddi_scores, y_test)
+    evaluate("LightGCN", lightgcn_scores, y_test)
+    evaluate("SafeDrug", safedrug_scores, y_test)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e .`` code path (setup.py develop), which is the only
+editable-install mechanism available offline here.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DSSDDI: Decision Support System for Chronic Diseases Based on "
+        "Drug-Drug Interactions (ICDE 2023) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

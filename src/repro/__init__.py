@@ -1,0 +1,36 @@
+"""DSSDDI reproduction: Decision Support System for Chronic Diseases Based
+on Drug-Drug Interactions (Bian et al., ICDE 2023).
+
+Top-level convenience imports::
+
+    from repro import DSSDDI, DSSDDIConfig, generate_chronic_cohort
+
+Package layout (see DESIGN.md for the full inventory):
+
+* ``repro.nn``      -- numpy autograd + layers + optimizers (torch substitute)
+* ``repro.graph``   -- graph types, truss machinery, community search
+* ``repro.gnn``     -- GIN / SGCN / SiGAT / SNEA / LightGCN / GCMC / GRU
+* ``repro.ml``      -- K-means, logistic regression, SVM
+* ``repro.data``    -- synthetic cohorts, DDI graph, DRKG TransE, splits
+* ``repro.causal``  -- treatment matrix + counterfactual links
+* ``repro.core``    -- the DSSDDI system (DDI / MD / MS modules)
+* ``repro.baselines`` -- UserSim, ECC, SVM, GCMC, LightGCN, SafeDrug,
+  Bipar-GCN, CauseRec
+* ``repro.metrics`` -- Precision/Recall/NDCG@k, SS@k, similarity analysis
+* ``repro.experiments`` -- regeneration harness for every table and figure
+"""
+
+from .core import DSSDDI, DSSDDIConfig
+from .data import generate_chronic_cohort, generate_ddi, generate_mimic, split_patients
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSSDDI",
+    "DSSDDIConfig",
+    "generate_chronic_cohort",
+    "generate_ddi",
+    "generate_mimic",
+    "split_patients",
+    "__version__",
+]

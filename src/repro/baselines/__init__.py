@@ -1,0 +1,31 @@
+"""The paper's baseline methods (Sec. V-A1).
+
+Traditional: UserSim (Eq. 20), ECC over logistic regression, one-vs-rest
+linear SVM.  Graph learning-based: GCMC, LightGCN, SafeDrug, Bipar-GCN,
+CauseRec.  All share the :class:`Recommender` interface — fit on observed
+patients, score drugs for unobserved patients from features alone.
+"""
+
+from .base import Recommender, available_baselines, register
+from .usersim import UserSim
+from .ecc import ECC
+from .svm import SVMRecommender
+from .gcmc import GCMCRecommender
+from .lightgcn import LightGCNRecommender
+from .bipargcn import BiparGCN
+from .safedrug import SafeDrug
+from .causerec import CauseRec
+
+__all__ = [
+    "Recommender",
+    "register",
+    "available_baselines",
+    "UserSim",
+    "ECC",
+    "SVMRecommender",
+    "GCMCRecommender",
+    "LightGCNRecommender",
+    "BiparGCN",
+    "SafeDrug",
+    "CauseRec",
+]

@@ -1,0 +1,52 @@
+"""Common interface for all medication-suggestion baselines.
+
+Every baseline consumes observed patients (features + medication matrix)
+and scores all drugs for *unobserved* patients from their features alone —
+the protocol of Definition 3 that all Table I/IV rows share.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+
+class Recommender(ABC):
+    """fit(X_obs, Y_obs) -> predict_scores(X_new) -> (n, num_drugs)."""
+
+    name: str = "recommender"
+
+    @abstractmethod
+    def fit(self, features: np.ndarray, medication_use: np.ndarray) -> "Recommender":
+        """Train on the observed patients."""
+
+    @abstractmethod
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        """Score every drug for each (unobserved) patient."""
+
+    def _check_fit_inputs(
+        self, features: np.ndarray, medication_use: np.ndarray
+    ) -> None:
+        if features.ndim != 2 or medication_use.ndim != 2:
+            raise ValueError("features and medication_use must be 2-D")
+        if features.shape[0] != medication_use.shape[0]:
+            raise ValueError(
+                f"row mismatch: {features.shape[0]} feature rows vs "
+                f"{medication_use.shape[0]} medication rows"
+            )
+
+
+_REGISTRY: Dict[str, Type[Recommender]] = {}
+
+
+def register(cls: Type[Recommender]) -> Type[Recommender]:
+    """Class decorator registering a baseline under its ``name``."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_baselines() -> Dict[str, Type[Recommender]]:
+    """Name -> class mapping of every registered baseline."""
+    return dict(_REGISTRY)

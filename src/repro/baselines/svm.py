@@ -1,0 +1,40 @@
+"""SVM baseline (Bao & Jiang reference [28]): one-vs-rest linear SVMs.
+
+Drugs are ranked for each patient by the decision values of 86 independent
+binary SVMs trained on the patient features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..ml import MultiLabelSVM
+from .base import Recommender, register
+
+
+@register
+class SVMRecommender(Recommender):
+    """One-vs-rest linear SVM ranking."""
+
+    name = "SVM"
+
+    def __init__(self, reg: float = 1e-3, epochs: int = 30, seed: int = 0) -> None:
+        self.reg = reg
+        self.epochs = epochs
+        self.seed = seed
+        self._model: Optional[MultiLabelSVM] = None
+
+    def fit(self, features: np.ndarray, medication_use: np.ndarray) -> "SVMRecommender":
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(medication_use, dtype=np.int64)
+        self._check_fit_inputs(x, y)
+        self._model = MultiLabelSVM(reg=self.reg, epochs=self.epochs, seed=self.seed)
+        self._model.fit(x, y)
+        return self
+
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("call fit() first")
+        return self._model.decision_matrix(np.asarray(features, dtype=np.float64))

@@ -1,0 +1,52 @@
+"""UserSim baseline (Eq. 20).
+
+Scores for an unobserved patient are the medication rows of the observed
+patients, weighted by feature cosine similarity:
+
+    Y_U = cosine_similarity(X_U, X_O) @ Y_O
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Recommender, register
+
+
+@register
+class UserSim(Recommender):
+    """Cosine-similarity-weighted label transfer."""
+
+    name = "UserSim"
+
+    def __init__(self) -> None:
+        self._features: Optional[np.ndarray] = None
+        self._medications: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, medication_use: np.ndarray) -> "UserSim":
+        features = np.asarray(features, dtype=np.float64)
+        medication_use = np.asarray(medication_use, dtype=np.float64)
+        self._check_fit_inputs(features, medication_use)
+        self._features = features
+        self._medications = medication_use
+        return self
+
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        if self._features is None:
+            raise RuntimeError("call fit() first")
+        new = np.asarray(features, dtype=np.float64)
+        similarity = _cosine(new, self._features)
+        return similarity @ self._medications
+
+    @staticmethod
+    def _cosine_rows(matrix: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        return matrix / np.maximum(norms, 1e-12)
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a_norm = a / np.maximum(np.linalg.norm(a, axis=1, keepdims=True), 1e-12)
+    b_norm = b / np.maximum(np.linalg.norm(b, axis=1, keepdims=True), 1e-12)
+    return a_norm @ b_norm.T

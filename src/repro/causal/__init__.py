@@ -1,0 +1,22 @@
+"""Causal machinery of the Medical Decision module.
+
+Treatment-matrix construction (three-step definition of Sec. IV-B1) and
+nearest-opposite-treatment counterfactual links (Eq. 7-8).
+"""
+
+from .treatment import TreatmentAssignment, build_treatment
+from .counterfactual import (
+    CounterfactualLinks,
+    build_counterfactual_links,
+    pairwise_distances,
+    suggest_gammas,
+)
+
+__all__ = [
+    "TreatmentAssignment",
+    "build_treatment",
+    "CounterfactualLinks",
+    "build_counterfactual_links",
+    "pairwise_distances",
+    "suggest_gammas",
+]

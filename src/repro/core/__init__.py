@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the DSSDDI system and its modules.
+
+* :class:`DDIModule` — DDIGCN drug-relation learning (Sec. IV-A).
+* :class:`MDModule` — MDGCN with counterfactual links (Sec. IV-B).
+* :class:`MSModule` — subgraph-querying explanations (Sec. IV-C).
+* :class:`DSSDDI` — the assembled system (Fig. 4).
+"""
+
+from .config import (
+    BACKBONES,
+    DRUG_EMBEDDING_MODES,
+    DDIGCNConfig,
+    DSSDDIConfig,
+    MDGCNConfig,
+    MSConfig,
+)
+from .ddi_module import DDIModule, DDITrainingLog
+from .md_module import MDModule, MDTrainingLog
+from .ms_module import Explanation, MSModule
+from .rerank import RerankConfig, antagonism_count, rerank_topk
+from .system import DSSDDI, FitReport
+
+__all__ = [
+    "BACKBONES",
+    "DRUG_EMBEDDING_MODES",
+    "DDIGCNConfig",
+    "MDGCNConfig",
+    "MSConfig",
+    "DSSDDIConfig",
+    "DDIModule",
+    "DDITrainingLog",
+    "MDModule",
+    "MDTrainingLog",
+    "MSModule",
+    "Explanation",
+    "DSSDDI",
+    "FitReport",
+    "RerankConfig",
+    "rerank_topk",
+    "antagonism_count",
+]

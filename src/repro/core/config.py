@@ -1,0 +1,110 @@
+"""Configuration for DSSDDI with the paper's hyperparameters as defaults.
+
+Section V-A3: Adam, lr 0.01 (MDGCN) / 0.001 (DDIGCN), 1000 / 400 epochs,
+hidden size 64, LeakyReLU after the FC layers, 2 MDGCN propagation layers,
+3 DDIGCN layers with batch norm + ReLU, beta_t = 1/(t+2), delta = 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+BACKBONES = ("gin", "sgcn", "sigat", "snea")
+DRUG_EMBEDDING_MODES = ("ddigcn", "onehot", "kg", "none")
+
+
+@dataclass
+class DDIGCNConfig:
+    """DDI-module hyperparameters (Sec. IV-A / V-A3)."""
+
+    backbone: str = "sgcn"
+    hidden_dim: int = 64
+    num_layers: int = 3
+    learning_rate: float = 0.001
+    epochs: int = 400
+    zero_edge_ratio: float = 1.0  # sampled "no interaction" edges per real edge
+    seed: int = 41
+
+    def validate(self) -> None:
+        if self.backbone not in BACKBONES:
+            raise ValueError(f"backbone must be one of {BACKBONES}, got {self.backbone!r}")
+        if self.hidden_dim < 2 or self.hidden_dim % 2 != 0:
+            raise ValueError("hidden_dim must be an even integer >= 2")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.zero_edge_ratio < 0:
+            raise ValueError("zero_edge_ratio must be >= 0")
+
+
+@dataclass
+class MDGCNConfig:
+    """MD-module hyperparameters (Sec. IV-B / V-A3)."""
+
+    hidden_dim: int = 64
+    num_layers: int = 2
+    learning_rate: float = 0.01
+    epochs: int = 1000
+    delta: float = 1.0  # counterfactual loss weight (Eq. 18)
+    drug_embedding_mode: str = "ddigcn"  # Table II ablation switch
+    gamma_quantile: float = 0.25  # drives gamma_p / gamma_d defaults
+    gamma_p: Optional[float] = None  # explicit override
+    gamma_d: Optional[float] = None
+    num_clusters: Optional[int] = None  # default: number of chronic diseases
+    use_counterfactual: bool = True
+    seed: int = 43
+
+    def validate(self) -> None:
+        if self.drug_embedding_mode not in DRUG_EMBEDDING_MODES:
+            raise ValueError(
+                f"drug_embedding_mode must be one of {DRUG_EMBEDDING_MODES}, "
+                f"got {self.drug_embedding_mode!r}"
+            )
+        if self.hidden_dim < 1:
+            raise ValueError("hidden_dim must be >= 1")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.delta < 0:
+            raise ValueError("delta must be >= 0")
+        if not 0.0 < self.gamma_quantile < 1.0:
+            raise ValueError("gamma_quantile must be in (0, 1)")
+
+
+@dataclass
+class MSConfig:
+    """MS-module hyperparameters (Sec. IV-C)."""
+
+    alpha: float = 0.5  # SS balance (Eq. 19)
+    size_budget: int = 60  # bulk-growth cap in Algorithm 1
+
+    def validate(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.size_budget < 1:
+            raise ValueError("size_budget must be >= 1")
+
+
+@dataclass
+class DSSDDIConfig:
+    """Top-level configuration bundling the three modules."""
+
+    ddi: DDIGCNConfig = field(default_factory=DDIGCNConfig)
+    md: MDGCNConfig = field(default_factory=MDGCNConfig)
+    ms: MSConfig = field(default_factory=MSConfig)
+
+    def validate(self) -> None:
+        self.ddi.validate()
+        self.md.validate()
+        self.ms.validate()
+
+    @classmethod
+    def fast(cls, backbone: str = "sgcn") -> "DSSDDIConfig":
+        """Small epoch counts for tests and quick experiments."""
+        return cls(
+            ddi=DDIGCNConfig(backbone=backbone, epochs=60, hidden_dim=32),
+            md=MDGCNConfig(epochs=120, hidden_dim=32),
+        )

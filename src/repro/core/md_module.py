@@ -1,0 +1,329 @@
+"""The Medical Decision module (Sec. IV-B).
+
+MDGCN has an encoder and a decoder:
+
+* **Encoder** (Eq. 9-13): two FC layers with LeakyReLU map patients and
+  drugs to a shared space; LightGCN-style propagation (no transforms, no
+  nonlinearity) over the patient-drug bipartite graph updates the drug
+  representations with layer combination beta_t = 1/(t+2).  Crucially the
+  *patient* representation used by the decoder is the one **before**
+  propagation — this avoids the over-smoothing of patient representations
+  the paper demonstrates in Fig. 7.
+* The DDI relation embeddings learned by the DDI module are added to the
+  final drug representation: h'_v := h'_v + z_v.
+* **Decoder** (Eq. 14-15): an MLP over [h_i ⊙ h'_v, T_iv] predicts the
+  link probability; the same decoder with the counterfactual treatment
+  T^CF predicts the counterfactual outcome.
+* **Training** (Eq. 16-18): BCE on factual links (1:1 negative sampling)
+  plus delta times BCE on counterfactual links.
+
+Inference for *unobserved* patients re-derives their treatment row from
+the fitted K-means clustering and the DDI synergy propagation, then scores
+every drug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..causal import build_counterfactual_links, build_treatment, suggest_gammas
+from ..gnn import LightGCNPropagation, bipartite_propagation, default_layer_weights
+from ..graph import BipartiteGraph, SignedGraph
+from ..ml import KMeansResult, kmeans
+from ..nn import (
+    Adam,
+    Linear,
+    MLP,
+    Tensor,
+    bce_with_logits,
+    concat,
+    gather_rows,
+)
+from .config import MDGCNConfig
+
+
+@dataclass
+class MDTrainingLog:
+    """Loss traces of MDGCN training."""
+
+    factual_losses: List[float]
+    counterfactual_losses: List[float]
+    cf_match_rate: float
+
+    @property
+    def final_loss(self) -> float:
+        return self.factual_losses[-1]
+
+
+class MDModule:
+    """Medication-suggestion model with counterfactual augmentation.
+
+    Usage::
+
+        module = MDModule(config)
+        module.fit(x_train, y_train, drug_features, ddi_graph, ddi_embeddings)
+        scores = module.predict_scores(x_test)     # (n_test, num_drugs)
+    """
+
+    def __init__(self, config: Optional[MDGCNConfig] = None) -> None:
+        self.config = config or MDGCNConfig()
+        self.config.validate()
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        patient_features: np.ndarray,
+        medication_use: np.ndarray,
+        drug_features: np.ndarray,
+        ddi_graph: SignedGraph,
+        ddi_embeddings: Optional[np.ndarray],
+        num_clusters: Optional[int] = None,
+    ) -> MDTrainingLog:
+        """Train MDGCN on the observed patients.
+
+        Args:
+            patient_features: (m, d1) observed patient features (standardized).
+            medication_use: (m, n) binary matrix Y of observed links.
+            drug_features: (n, d2) original drug features z_v (mode-dependent:
+                DRKG embeddings, one-hot, or DDIGCN output).
+            ddi_graph: signed DDI graph (treatment propagation + negatives).
+            ddi_embeddings: (n, hidden) DDIGCN relation embeddings added to
+                the final drug representation; None disables the addition
+                (the "w/o DDI" ablation).
+            num_clusters: K for the treatment clustering; defaults to the
+                config value or 10 (the paper's count of chronic diseases).
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        x = np.asarray(patient_features, dtype=np.float64)
+        y = np.asarray(medication_use, dtype=np.int64)
+        z = np.asarray(drug_features, dtype=np.float64)
+        m, n = y.shape
+        if x.shape[0] != m:
+            raise ValueError("patient_features and medication_use disagree")
+        if z.shape[0] != n:
+            raise ValueError("drug_features and medication_use disagree")
+        if ddi_graph.num_nodes != n:
+            raise ValueError("DDI graph size must match the number of drugs")
+        if ddi_embeddings is not None:
+            ddi_embeddings = np.asarray(ddi_embeddings, dtype=np.float64)
+            if ddi_embeddings.ndim != 2 or ddi_embeddings.shape[0] != n:
+                raise ValueError(
+                    f"ddi_embeddings must be ({n}, d), got {ddi_embeddings.shape}"
+                )
+
+        self._x_train = x
+        self._y_train = y
+        self._z_drugs = z
+        self._ddi_graph = ddi_graph
+        self._ddi_embeddings = ddi_embeddings
+
+        # ---------------- causal model: treatment + counterfactuals -------
+        k = num_clusters or cfg.num_clusters or 10
+        k = max(1, min(k, m))
+        self._kmeans: KMeansResult = kmeans(x, k, seed=cfg.seed)
+        assignment = build_treatment(
+            x, y, ddi_graph, k, seed=cfg.seed, clusters=self._kmeans.labels
+        )
+        self._treatment = assignment.matrix
+
+        if cfg.use_counterfactual:
+            gamma_p, gamma_d = cfg.gamma_p, cfg.gamma_d
+            if gamma_p is None or gamma_d is None:
+                auto_p, auto_d = suggest_gammas(x, z, quantile=cfg.gamma_quantile)
+                gamma_p = gamma_p if gamma_p is not None else auto_p
+                gamma_d = gamma_d if gamma_d is not None else auto_d
+            links = build_counterfactual_links(
+                x, z, self._treatment, y, gamma_p, gamma_d
+            )
+            treatment_cf = links.treatment_cf
+            outcome_cf = links.outcome_cf
+            cf_match_rate = links.match_rate
+        else:
+            treatment_cf = self._treatment
+            outcome_cf = y
+            cf_match_rate = 0.0
+
+        # ---------------- model ------------------------------------------
+        d1, d2 = x.shape[1], z.shape[1]
+        hidden = cfg.hidden_dim
+        self._patient_fc = Linear(d1, hidden, rng)       # Eq. 9
+        self._drug_fc = Linear(d2, hidden, rng)          # Eq. 10
+        self._propagation = LightGCNPropagation(
+            cfg.num_layers, default_layer_weights(cfg.num_layers)
+        )
+        # Decoder input: [h_i ⊙ h'_v, T_iv]  (Eq. 14)
+        self._decoder = MLP([hidden + 1, hidden, 1], rng, activation="relu")
+        # Adapter for the shared DDI relation embedding (h'_v += W z_v).
+        # A trainable projection lets the decoder exploit the DDI structure
+        # without the raw embedding magnitudes swamping h'_v.
+        self._ddi_adapter = (
+            Linear(ddi_embeddings.shape[1], hidden, rng, bias=False)
+            if ddi_embeddings is not None
+            else None
+        )
+
+        graph = BipartiteGraph.from_matrix(y)
+        self._p2d, self._d2p = bipartite_propagation(graph)
+
+        params = (
+            self._patient_fc.parameters()
+            + self._drug_fc.parameters()
+            + self._decoder.parameters()
+        )
+        if self._ddi_adapter is not None:
+            params += self._ddi_adapter.parameters()
+        optimizer = Adam(params, lr=cfg.learning_rate)
+
+        positives = np.argwhere(y == 1)
+        if len(positives) == 0:
+            raise ValueError("medication_use has no positive links to train on")
+        zeros_rows, zeros_cols = np.nonzero(y == 0)
+
+        x_t = Tensor(x)
+        z_t = Tensor(z)
+        factual_losses: List[float] = []
+        cf_losses: List[float] = []
+        for _epoch in range(cfg.epochs):
+            optimizer.zero_grad()
+            h_patients, h_drugs_final = self._encode(x_t, z_t)
+
+            # 1:1 negative sampling (Sec. IV-B3).
+            neg_idx = rng.integers(0, len(zeros_rows), size=len(positives))
+            pos_i, pos_v = positives[:, 0], positives[:, 1]
+            neg_i, neg_v = zeros_rows[neg_idx], zeros_cols[neg_idx]
+            batch_i = np.concatenate([pos_i, neg_i])
+            batch_v = np.concatenate([pos_v, neg_v])
+            labels = np.concatenate(
+                [np.ones(len(positives)), np.zeros(len(positives))]
+            )
+
+            logits = self._decode(
+                h_patients, h_drugs_final, batch_i, batch_v,
+                self._treatment[batch_i, batch_v],
+            )
+            loss_factual = bce_with_logits(logits, labels)
+
+            if cfg.use_counterfactual and cfg.delta > 0:
+                cf_labels = outcome_cf[batch_i, batch_v].astype(np.float64)
+                cf_logits = self._decode(
+                    h_patients, h_drugs_final, batch_i, batch_v,
+                    treatment_cf[batch_i, batch_v],
+                )
+                loss_cf = bce_with_logits(cf_logits, cf_labels)
+                loss = loss_factual + loss_cf * cfg.delta  # Eq. 18
+                cf_losses.append(loss_cf.item())
+            else:
+                loss = loss_factual
+                cf_losses.append(0.0)
+
+            loss.backward()
+            optimizer.step()
+            factual_losses.append(loss_factual.item())
+
+        self._fitted = True
+        return MDTrainingLog(
+            factual_losses=factual_losses,
+            counterfactual_losses=cf_losses,
+            cf_match_rate=cf_match_rate,
+        )
+
+    # ------------------------------------------------------------------
+    def _encode(self, x_t: Tensor, z_t: Tensor) -> Tuple[Tensor, Tensor]:
+        """Run Eq. 9-13 (+ DDI addition); returns (h_patients, h'_drugs)."""
+        h_patients = self._patient_fc(x_t).leaky_relu()      # Eq. 9
+        h_drugs = self._drug_fc(z_t).leaky_relu()            # Eq. 10
+        _smoothed_patients, h_drugs_final = self._propagation(
+            h_patients, h_drugs, self._p2d, self._d2p
+        )
+        if self._ddi_embeddings is not None:
+            h_drugs_final = h_drugs_final + self._ddi_adapter(
+                Tensor(self._ddi_embeddings)
+            )
+        return h_patients, h_drugs_final
+
+    def _decode(
+        self,
+        h_patients: Tensor,
+        h_drugs: Tensor,
+        patient_idx: np.ndarray,
+        drug_idx: np.ndarray,
+        treatment: np.ndarray,
+    ) -> Tensor:
+        """Eq. 14: MLP([h_i ⊙ h'_v, T_iv]) -> logits."""
+        h_i = gather_rows(h_patients, patient_idx)
+        h_v = gather_rows(h_drugs, drug_idx)
+        interaction = h_i * h_v
+        t_col = Tensor(np.asarray(treatment, dtype=np.float64).reshape(-1, 1))
+        return self._decoder(concat([interaction, t_col], axis=1)).reshape(-1)
+
+    # ------------------------------------------------------------------
+    def treatment_for(self, patient_features: np.ndarray) -> np.ndarray:
+        """Derive treatment rows for unobserved patients.
+
+        Mirrors the 3-step definition: (1) no observed links, (2) inherit
+        the drugs used in the patient's K-means cluster, (3) propagate
+        along DDI synergy edges.
+        """
+        self._require_fitted()
+        x = np.asarray(patient_features, dtype=np.float64)
+        clusters = self._kmeans.predict(x)
+        # Per-cluster drug exposure from the observed data.
+        n = self._y_train.shape[1]
+        cluster_drugs = np.zeros((self._kmeans.centers.shape[0], n), dtype=np.int64)
+        for c in range(self._kmeans.centers.shape[0]):
+            members = self._kmeans.labels == c
+            if members.any():
+                cluster_drugs[c] = self._y_train[members].max(axis=0)
+        treatment = cluster_drugs[clusters]
+        synergy = np.zeros((n, n))
+        for u, v, sign in self._ddi_graph.edges_with_signs():
+            if sign == 1:
+                synergy[u, v] = 1.0
+                synergy[v, u] = 1.0
+        propagated = (treatment @ synergy) > 0
+        return np.maximum(treatment, propagated.astype(np.int64))
+
+    def predict_scores(self, patient_features: np.ndarray) -> np.ndarray:
+        """Suggestion scores for every drug, per patient (sigmoid probs)."""
+        self._require_fitted()
+        x = np.asarray(patient_features, dtype=np.float64)
+        treatment = self.treatment_for(x)
+        h_train_patients, h_drugs = self._encode(
+            Tensor(self._x_train), Tensor(self._z_drugs)
+        )
+        h_new = self._patient_fc(Tensor(x)).leaky_relu()
+        n_drugs = self._y_train.shape[1]
+        num = x.shape[0]
+        patient_idx = np.repeat(np.arange(num), n_drugs)
+        drug_idx = np.tile(np.arange(n_drugs), num)
+        logits = self._decode(
+            h_new, h_drugs, patient_idx, drug_idx,
+            treatment[patient_idx, drug_idx],
+        )
+        scores = logits.sigmoid().numpy().reshape(num, n_drugs)
+        return scores
+
+    # ------------------------------------------------------------------
+    def patient_representations(self, patient_features: np.ndarray) -> np.ndarray:
+        """Pre-propagation patient representations (Fig. 7a input)."""
+        self._require_fitted()
+        return (
+            self._patient_fc(Tensor(np.asarray(patient_features, dtype=np.float64)))
+            .leaky_relu()
+            .numpy()
+        )
+
+    def drug_representations(self) -> np.ndarray:
+        """Final drug representations h'_v (Fig. 7b input)."""
+        self._require_fitted()
+        _, h_drugs = self._encode(Tensor(self._x_train), Tensor(self._z_drugs))
+        return h_drugs.numpy()
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("call fit() first")

@@ -1,0 +1,131 @@
+"""The Medical Support module (Sec. IV-C).
+
+Given the suggested drugs, extract the closest dense subgraph of the DDI
+graph (Algorithm 1: truss decomposition + Steiner tree + bulk/shrink) and
+produce a doctor-facing explanation: the synergistic and antagonistic
+interactions among the suggested drugs and between suggested and
+non-suggested community drugs, plus the Suggestion Satisfaction score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph import CTCResult, SignedGraph, closest_truss_community
+from ..metrics import SatisfactionBreakdown, suggestion_satisfaction
+from .config import MSConfig
+
+
+@dataclass
+class Explanation:
+    """Doctor-facing explanation of a medication suggestion.
+
+    Attributes:
+        suggested: the k suggested drug ids.
+        community: all drugs in the closest dense subgraph.
+        synergy_within: synergistic pairs among the suggested drugs.
+        antagonism_within: antagonistic pairs among the suggested drugs
+            (ideally empty — flagged to the doctor when not).
+        antagonism_avoided: antagonistic pairs between a suggested and a
+            non-suggested community drug (drugs the system steered around).
+        satisfaction: the SS breakdown (Eq. 19).
+        drug_names: optional id -> name mapping for rendering.
+    """
+
+    suggested: List[int]
+    community: List[int]
+    synergy_within: List[Tuple[int, int]]
+    antagonism_within: List[Tuple[int, int]]
+    antagonism_avoided: List[Tuple[int, int]]
+    satisfaction: SatisfactionBreakdown
+    drug_names: Dict[int, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable summary (the paper's Fig. 8-style output)."""
+
+        def name(did: int) -> str:
+            return self.drug_names.get(did, f"drug {did}")
+
+        lines = [
+            "Suggestion: " + ", ".join(name(d) for d in self.suggested),
+            f"Suggestion Satisfaction: {self.satisfaction.value:.4f}",
+        ]
+        if self.synergy_within:
+            lines.append("Synergism:")
+            lines.extend(
+                f"  {name(u)} and {name(v)}" for u, v in self.synergy_within
+            )
+        if self.antagonism_within:
+            lines.append("WARNING - antagonism inside the suggestion:")
+            lines.extend(
+                f"  {name(u)} and {name(v)}" for u, v in self.antagonism_within
+            )
+        if self.antagonism_avoided:
+            lines.append("Antagonism (avoided non-suggested drugs):")
+            lines.extend(
+                f"  {name(u)} and {name(v)}" for u, v in self.antagonism_avoided
+            )
+        return "\n".join(lines)
+
+
+class MSModule:
+    """Explanation generator over a signed DDI graph."""
+
+    def __init__(self, ddi: SignedGraph, config: Optional[MSConfig] = None) -> None:
+        self.config = config or MSConfig()
+        self.config.validate()
+        self.ddi = ddi
+        self._unsigned = ddi.to_unsigned()
+
+    def query_subgraph(self, suggested: Sequence[int]) -> Optional[CTCResult]:
+        """Algorithm 1: closest truss community around the suggested drugs."""
+        return closest_truss_community(
+            self._unsigned, list(suggested), size_budget=self.config.size_budget
+        )
+
+    def explain(
+        self,
+        suggested: Sequence[int],
+        drug_names: Optional[Dict[int, str]] = None,
+    ) -> Explanation:
+        """Produce the full explanation for a suggestion."""
+        suggested = sorted(set(int(s) for s in suggested))
+        if not suggested:
+            raise ValueError("need at least one suggested drug")
+        community = self.query_subgraph(suggested)
+        if community is None:
+            members = set(suggested)
+            for s in suggested:
+                members.update(self.ddi.neighbors(s))
+            member_list = sorted(members)
+        else:
+            member_list = sorted(set(community.nodes) | set(suggested))
+
+        suggested_set = set(suggested)
+        synergy_within: List[Tuple[int, int]] = []
+        antagonism_within: List[Tuple[int, int]] = []
+        antagonism_avoided: List[Tuple[int, int]] = []
+        for idx, u in enumerate(member_list):
+            for v in member_list[idx + 1 :]:
+                sign = self.ddi.sign_or_none(u, v)
+                if sign is None or sign == 0:
+                    continue
+                u_in, v_in = u in suggested_set, v in suggested_set
+                if u_in and v_in:
+                    (synergy_within if sign == 1 else antagonism_within).append((u, v))
+                elif u_in != v_in and sign == -1:
+                    antagonism_avoided.append((u, v))
+
+        satisfaction = suggestion_satisfaction(
+            self.ddi, suggested, alpha=self.config.alpha, subgraph_nodes=member_list
+        )
+        return Explanation(
+            suggested=suggested,
+            community=member_list,
+            synergy_within=synergy_within,
+            antagonism_within=antagonism_within,
+            antagonism_avoided=antagonism_avoided,
+            satisfaction=satisfaction,
+            drug_names=drug_names or {},
+        )

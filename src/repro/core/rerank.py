@@ -1,0 +1,120 @@
+"""DDI-aware re-ranking of suggestion lists (extension).
+
+The paper's case studies (Fig. 9) show DDI knowledge moving individual
+drugs up or down the ranking through learned embeddings.  This module adds
+the natural *decision-layer* counterpart: given any method's scores, pick
+the top-k set greedily while (a) skipping drugs antagonistic to already
+selected ones unless their score dominates, and (b) boosting drugs
+synergistic with the current selection.
+
+This is an extension beyond the paper (its suggestions are pure score
+top-k); the ablation benchmark shows the trade-off it buys: higher
+Suggestion Satisfaction at a small ranking-metric cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph import SignedGraph
+
+
+@dataclass
+class RerankConfig:
+    """Greedy selection knobs.
+
+    Attributes:
+        synergy_bonus: additive score bonus per synergistic edge to the
+            already-selected set.
+        antagonism_penalty: additive penalty per antagonistic edge; a drug
+            is skipped while penalized below the next candidate.
+        hard_exclude: if True, antagonistic candidates are skipped outright
+            (unless no clean candidate remains).
+    """
+
+    synergy_bonus: float = 0.05
+    antagonism_penalty: float = 0.2
+    hard_exclude: bool = False
+
+    def validate(self) -> None:
+        if self.synergy_bonus < 0 or self.antagonism_penalty < 0:
+            raise ValueError("bonus and penalty must be non-negative")
+
+
+def rerank_topk(
+    scores: np.ndarray,
+    ddi: SignedGraph,
+    k: int,
+    config: Optional[RerankConfig] = None,
+) -> np.ndarray:
+    """Greedy DDI-aware top-k per patient.
+
+    Args:
+        scores: (num_patients, num_drugs) suggestion scores.
+        ddi: signed DDI graph over the drugs.
+        k: suggestion size.
+        config: greedy knobs (defaults are conservative).
+
+    Returns:
+        (num_patients, k) int array of selected drug ids, best first.
+    """
+    config = config or RerankConfig()
+    config.validate()
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("scores must be 2-D")
+    num_patients, num_drugs = scores.shape
+    if not 1 <= k <= num_drugs:
+        raise ValueError(f"k must be in [1, {num_drugs}]")
+    if ddi.num_nodes != num_drugs:
+        raise ValueError("DDI graph size must match the number of drugs")
+
+    out = np.empty((num_patients, k), dtype=np.int64)
+    for i in range(num_patients):
+        out[i] = _greedy_select(scores[i], ddi, k, config)
+    return out
+
+
+def _greedy_select(
+    row: np.ndarray, ddi: SignedGraph, k: int, config: RerankConfig
+) -> List[int]:
+    adjusted = row.copy()
+    selected: List[int] = []
+    available = set(range(len(row)))
+    while len(selected) < k:
+        best = max(available, key=lambda d: adjusted[d])
+        if config.hard_exclude and selected:
+            conflict = any(ddi.sign_or_none(best, s) == -1 for s in selected)
+            clean = [
+                d
+                for d in available
+                if not any(ddi.sign_or_none(d, s) == -1 for s in selected)
+            ]
+            if conflict and clean:
+                best = max(clean, key=lambda d: adjusted[d])
+        selected.append(best)
+        available.discard(best)
+        # Update neighbours of the newly selected drug.
+        for neighbor in ddi.neighbors(best):
+            if neighbor not in available:
+                continue
+            sign = ddi.sign(best, neighbor)
+            if sign == 1:
+                adjusted[neighbor] += config.synergy_bonus
+            elif sign == -1:
+                adjusted[neighbor] -= config.antagonism_penalty
+    return selected
+
+
+def antagonism_count(selection: Sequence[int], ddi: SignedGraph) -> int:
+    """Number of antagonistic pairs inside one suggestion set."""
+    selection = list(selection)
+    count = 0
+    for idx, u in enumerate(selection):
+        for v in selection[idx + 1 :]:
+            if ddi.sign_or_none(u, v) == -1:
+                count += 1
+    return count

@@ -1,0 +1,73 @@
+"""Datasets: all synthetic, seeded substitutes for the paper's data sources.
+
+* :mod:`repro.data.catalog` — the 86-drug catalog with paper-pinned ids.
+* :mod:`repro.data.ddi` — DrugCombDB-style DDI graph (97 synergy / 243
+  antagonism) with every case-study interaction pinned.
+* :mod:`repro.data.chronic` — the Hong Kong Chronic Disease Study cohort
+  simulator (X: n x 71, Y: n x 86).
+* :mod:`repro.data.drkg` — miniature DRKG + from-scratch TransE, yielding
+  the 400-d pre-trained drug embeddings of the Table II "KG" ablation.
+* :mod:`repro.data.mimic` — MIMIC-III-like multi-visit EHR generator.
+* :mod:`repro.data.splits` — the 5:3:2 patient split.
+
+See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from .catalog import (
+    DISEASE_PREVALENCE,
+    NUM_DRUGS,
+    SECONDARY_DISEASES,
+    Drug,
+    all_diseases,
+    build_catalog,
+    drug_names,
+    drugs_by_disease,
+)
+from .ddi import (
+    DDIDataset,
+    PINNED_ANTAGONISM,
+    PINNED_SYNERGY,
+    add_no_interaction_edges,
+    antagonism_only,
+    generate_ddi,
+)
+from .chronic import (
+    ChronicCohort,
+    NUM_FEATURES,
+    generate_chronic_cohort,
+    standardize_features,
+)
+from .drkg import KnowledgeGraph, TransE, build_knowledge_graph, pretrained_drug_embeddings
+from .mimic import MimicDataset, MimicVisit, generate_mimic, visit_step_features
+from .splits import Split, split_patients
+
+__all__ = [
+    "NUM_DRUGS",
+    "NUM_FEATURES",
+    "DISEASE_PREVALENCE",
+    "SECONDARY_DISEASES",
+    "Drug",
+    "build_catalog",
+    "drugs_by_disease",
+    "drug_names",
+    "all_diseases",
+    "DDIDataset",
+    "PINNED_SYNERGY",
+    "PINNED_ANTAGONISM",
+    "generate_ddi",
+    "add_no_interaction_edges",
+    "antagonism_only",
+    "ChronicCohort",
+    "generate_chronic_cohort",
+    "standardize_features",
+    "KnowledgeGraph",
+    "TransE",
+    "build_knowledge_graph",
+    "pretrained_drug_embeddings",
+    "MimicDataset",
+    "MimicVisit",
+    "generate_mimic",
+    "visit_step_features",
+    "Split",
+    "split_patients",
+]

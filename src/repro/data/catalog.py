@@ -1,0 +1,214 @@
+"""The 86-drug catalog and disease taxonomy of the chronic cohort.
+
+The paper studies 86 medications for the chronic diseases of Fig. 2, with
+per-disease medication counts following Fig. 3.  The real cohort is private;
+this catalog reconstructs the *published* structure:
+
+* every drug the paper names, at the drug id (DID) the paper uses in its
+  case studies (Doxazosin DID 1, Perindopril DID 5, Amlodipine DID 8,
+  Indapamide DID 10, Felodipine DID 32, Simvastatin DID 46, Atorvastatin
+  DID 47, Metformin DID 48, Isosorbide DID 58/59, Gabapentin DID 61,
+  Theophylline DID 83, Enalapril DID 3, plus Prazosin/Terazosin/Phenytoin),
+* disease prevalences from Fig. 2,
+* drugs-per-disease counts in the spirit of Fig. 3 (hypertension and
+  cardiovascular disease have the most medications).
+
+Note: the paper refers to "Isosorbide" both as DID 58 (Case 4) and DID 59
+(Fig. 8).  Both are real distinct drugs — Isosorbide Mononitrate and
+Isosorbide Dinitrate — so the catalog pins one at each id, which lets every
+case study replay at its published id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+NUM_DRUGS = 86
+
+#: Disease prevalences of Fig. 2 (fractions of interview records).
+DISEASE_PREVALENCE: Dict[str, float] = {
+    "hypertension": 0.49,
+    "cardiovascular": 0.22,
+    "type2_diabetes": 0.11,
+    "gastric_ulcer": 0.06,
+    "arthritis": 0.03,
+    "prostatic_hyperplasia": 0.02,
+    "diabetic_nephropathy": 0.02,
+    "myocardial_infarction": 0.01,
+    "asthma": 0.01,
+    "other": 0.03,
+}
+
+#: Diseases that appear in Fig. 3 but are folded into "other" in Fig. 2.
+SECONDARY_DISEASES: Tuple[str, ...] = (
+    "erosive_esophagitis",
+    "seizures",
+    "eye_diseases",
+    "anxiety_disorder",
+    "edema",
+    "thromboembolism",
+)
+
+
+@dataclass(frozen=True)
+class Drug:
+    """One catalog entry.
+
+    Attributes:
+        did: drug id, 0..85, stable across the whole reproduction.
+        name: generic drug name.
+        disease: primary disease class the drug treats (Fig. 3 grouping).
+    """
+
+    did: int
+    name: str
+    disease: str
+
+
+# Named drugs pinned at the paper's ids (see module docstring).
+_PINNED: Dict[int, Tuple[str, str]] = {
+    1: ("Doxazosin", "hypertension"),
+    2: ("Lisinopril", "hypertension"),
+    3: ("Enalapril", "hypertension"),
+    5: ("Perindopril", "hypertension"),
+    8: ("Amlodipine", "hypertension"),
+    10: ("Indapamide", "hypertension"),
+    32: ("Felodipine", "hypertension"),
+    46: ("Simvastatin", "cardiovascular"),
+    47: ("Atorvastatin", "cardiovascular"),
+    48: ("Metformin", "type2_diabetes"),
+    58: ("Isosorbide Mononitrate", "cardiovascular"),
+    59: ("Isosorbide Dinitrate", "cardiovascular"),
+    61: ("Gabapentin", "seizures"),
+    83: ("Theophylline", "asthma"),
+    # Paper names these in Case 3 without fixed DIDs; pinned here for replay.
+    0: ("Prazosin", "hypertension"),
+    4: ("Terazosin", "hypertension"),
+    60: ("Phenytoin", "seizures"),
+}
+
+# Remaining drugs fill the Fig. 3 per-disease counts.  Names are common
+# generics for each class; counts are chosen so the catalog totals 86 and
+# hypertension/cardiovascular dominate, as in Fig. 3.
+_FILLERS: List[Tuple[str, str]] = [
+    # hypertension (already 8 pinned -> +8 = 16 total)
+    ("Metoprolol", "hypertension"),
+    ("Atenolol", "hypertension"),
+    ("Losartan", "hypertension"),
+    ("Valsartan", "hypertension"),
+    ("Hydrochlorothiazide", "hypertension"),
+    ("Nifedipine", "hypertension"),
+    ("Diltiazem", "hypertension"),
+    ("Bisoprolol", "hypertension"),
+    # cardiovascular (3 pinned -> +11 = 14 total)
+    ("Aspirin", "cardiovascular"),
+    ("Clopidogrel", "cardiovascular"),
+    ("Digoxin", "cardiovascular"),
+    ("Nitroglycerin", "cardiovascular"),
+    ("Rosuvastatin", "cardiovascular"),
+    ("Pravastatin", "cardiovascular"),
+    ("Amiodarone", "cardiovascular"),
+    ("Ticlopidine", "cardiovascular"),
+    ("Dipyridamole", "cardiovascular"),
+    ("Propranolol", "cardiovascular"),
+    ("Verapamil", "cardiovascular"),
+    # arthritis (8)
+    ("Ibuprofen", "arthritis"),
+    ("Naproxen", "arthritis"),
+    ("Diclofenac", "arthritis"),
+    ("Celecoxib", "arthritis"),
+    ("Indomethacin", "arthritis"),
+    ("Allopurinol", "arthritis"),
+    ("Colchicine", "arthritis"),
+    ("Methotrexate", "arthritis"),
+    # erosive esophagitis (6)
+    ("Omeprazole", "erosive_esophagitis"),
+    ("Lansoprazole", "erosive_esophagitis"),
+    ("Pantoprazole", "erosive_esophagitis"),
+    ("Esomeprazole", "erosive_esophagitis"),
+    ("Rabeprazole", "erosive_esophagitis"),
+    ("Sucralfate", "erosive_esophagitis"),
+    # type 2 diabetes (1 pinned -> +5 = 6 total)
+    ("Gliclazide", "type2_diabetes"),
+    ("Glibenclamide", "type2_diabetes"),
+    ("Glipizide", "type2_diabetes"),
+    ("Acarbose", "type2_diabetes"),
+    ("Pioglitazone", "type2_diabetes"),
+    # diabetic nephropathy (4)
+    ("Ramipril", "diabetic_nephropathy"),
+    ("Irbesartan", "diabetic_nephropathy"),
+    ("Candesartan", "diabetic_nephropathy"),
+    ("Telmisartan", "diabetic_nephropathy"),
+    # seizures (2 pinned -> +3 = 5 total)
+    ("Carbamazepine", "seizures"),
+    ("Valproate", "seizures"),
+    ("Lamotrigine", "seizures"),
+    # gastric / duodenal ulcer (5)
+    ("Ranitidine", "gastric_ulcer"),
+    ("Famotidine", "gastric_ulcer"),
+    ("Cimetidine", "gastric_ulcer"),
+    ("Misoprostol", "gastric_ulcer"),
+    ("Bismuth Subsalicylate", "gastric_ulcer"),
+    # eye diseases (4)
+    ("Timolol", "eye_diseases"),
+    ("Latanoprost", "eye_diseases"),
+    ("Brimonidine", "eye_diseases"),
+    ("Dorzolamide", "eye_diseases"),
+    # anxiety disorder (4)
+    ("Diazepam", "anxiety_disorder"),
+    ("Lorazepam", "anxiety_disorder"),
+    ("Sertraline", "anxiety_disorder"),
+    ("Paroxetine", "anxiety_disorder"),
+    # edema (3)
+    ("Furosemide", "edema"),
+    ("Spironolactone", "edema"),
+    ("Bumetanide", "edema"),
+    # prostatic hyperplasia (3)
+    ("Finasteride", "prostatic_hyperplasia"),
+    ("Tamsulosin", "prostatic_hyperplasia"),
+    ("Dutasteride", "prostatic_hyperplasia"),
+    # asthma (1 pinned -> +3 = 4 total)
+    ("Salbutamol", "asthma"),
+    ("Budesonide", "asthma"),
+    ("Montelukast", "asthma"),
+    # thromboembolism (2)
+    ("Warfarin", "thromboembolism"),
+    ("Heparin", "thromboembolism"),
+]
+
+
+def build_catalog() -> List[Drug]:
+    """Construct the deterministic 86-drug catalog.
+
+    Pinned drugs land at their paper DIDs; fillers take the remaining ids in
+    order.  The result is the same on every call.
+    """
+    names: Dict[int, Tuple[str, str]] = dict(_PINNED)
+    free_ids = [i for i in range(NUM_DRUGS) if i not in names]
+    if len(_FILLERS) != len(free_ids):
+        raise RuntimeError(
+            f"catalog arithmetic broken: {len(_FILLERS)} fillers for "
+            f"{len(free_ids)} free ids"
+        )
+    for did, (name, disease) in zip(free_ids, _FILLERS):
+        names[did] = (name, disease)
+    return [Drug(did, *names[did]) for did in range(NUM_DRUGS)]
+
+
+def drugs_by_disease(catalog: List[Drug]) -> Dict[str, List[int]]:
+    """Map each disease class to its drug ids."""
+    mapping: Dict[str, List[int]] = {}
+    for drug in catalog:
+        mapping.setdefault(drug.disease, []).append(drug.did)
+    return mapping
+
+
+def drug_names(catalog: List[Drug]) -> Dict[int, str]:
+    return {drug.did: drug.name for drug in catalog}
+
+
+def all_diseases() -> List[str]:
+    """All disease classes (Fig. 2 majors + Fig. 3 secondaries)."""
+    majors = [d for d in DISEASE_PREVALENCE if d != "other"]
+    return majors + list(SECONDARY_DISEASES)

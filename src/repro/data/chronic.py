@@ -1,0 +1,426 @@
+"""Synthetic Hong Kong Chronic Disease Study cohort.
+
+The real cohort (4157 interview records of subjects aged 65+, 71 features,
+86 medications) is private.  This simulator regenerates its *published*
+statistical structure so that the reproduction exercises the same learning
+problem:
+
+* disease prevalences follow Fig. 2 (hypertension 49%, cardiovascular 22%,
+  type-2 diabetes 11%, ...), with realistic comorbidity boosts (diabetes ->
+  nephropathy, hypertension -> cardiovascular),
+* the 71 features replicate the questionnaire's three blocks — personal
+  (age, gender, BMI, blood pressure...), clinical history (disease-family
+  and drug-family history questions) and psychological assessment (GDS
+  score and emotional items) — and are *informative*: each is generated
+  from the patient's latent disease state plus noise,
+* medication use draws 1-3 drugs per active disease from that disease's
+  catalog entries, with popularity-weighted choice, then applies a
+  DDI-aware adjustment: antagonistic co-prescriptions are mostly dropped
+  and synergistic pairs boosted — but a small fraction of antagonistic
+  pairs survives, reproducing the paper's Case-4 observation that real
+  patients sometimes take antagonistic combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .catalog import (
+    DISEASE_PREVALENCE,
+    SECONDARY_DISEASES,
+    Drug,
+    all_diseases,
+    build_catalog,
+    drugs_by_disease,
+)
+from .ddi import DDIDataset, generate_ddi
+
+NUM_FEATURES = 71
+
+#: Conditional prevalence boosts: P(disease | condition) multipliers.
+_COMORBIDITY: Dict[Tuple[str, str], float] = {
+    ("type2_diabetes", "diabetic_nephropathy"): 8.0,
+    ("hypertension", "cardiovascular"): 1.8,
+    ("cardiovascular", "myocardial_infarction"): 4.0,
+    ("gastric_ulcer", "erosive_esophagitis"): 3.0,
+    ("hypertension", "edema"): 2.0,
+    ("cardiovascular", "thromboembolism"): 3.0,
+}
+
+#: Base prevalences for the secondary (Fig. 3-only) diseases.
+_SECONDARY_PREVALENCE: Dict[str, float] = {
+    "erosive_esophagitis": 0.04,
+    "seizures": 0.01,
+    "eye_diseases": 0.05,
+    "anxiety_disorder": 0.05,
+    "edema": 0.03,
+    "thromboembolism": 0.01,
+}
+
+
+@dataclass
+class ChronicCohort:
+    """A generated cohort.
+
+    Attributes:
+        features: (n, 71) float feature matrix X.
+        medications: (n, 86) binary medication-use matrix Y.
+        diseases: (n, num_diseases) binary latent disease state.
+        feature_names: names of the 71 features, questionnaire-style.
+        disease_names: column order of ``diseases``.
+        catalog: the drug catalog.
+        ddi: the DDI dataset used for prescription adjustment.
+    """
+
+    features: np.ndarray
+    medications: np.ndarray
+    diseases: np.ndarray
+    feature_names: List[str]
+    disease_names: List[str]
+    catalog: List[Drug]
+    ddi: DDIDataset
+
+    @property
+    def num_patients(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_drugs(self) -> int:
+        return self.medications.shape[1]
+
+
+def _feature_names() -> List[str]:
+    """The 71 questionnaire features in their three blocks."""
+    personal = [
+        "age",
+        "gender_male",
+        "bmi",
+        "systolic_bp",
+        "diastolic_bp",
+        "heart_rate",
+        "waist_circumference",
+        "grip_strength",
+        "gait_speed",
+        "smoker",
+        "alcohol_weekly",
+        "lives_alone",
+        "education_years",
+        "falls_last_year",
+    ]
+    clinical: List[str] = []
+    for disease in all_diseases():
+        clinical.append(f"history_{disease}")
+    drug_families = [
+        "alpha_blocker",
+        "beta_blocker",
+        "ace_inhibitor",
+        "arb",
+        "calcium_channel_blocker",
+        "diuretic",
+        "statin",
+        "antiplatelet",
+        "nsaid",
+        "ppi",
+        "h2_blocker",
+        "sulfonylurea",
+        "biguanide",
+        "nitrate",
+        "anticonvulsant",
+        "bronchodilator",
+        "benzodiazepine",
+        "ssri",
+        "anticoagulant",
+    ]
+    clinical.extend(f"ever_taken_{fam}" for fam in drug_families)
+    psych = [
+        "gds_score",
+        "felt_downhearted",
+        "felt_nervous",
+        "felt_calm",
+        "felt_energetic",
+        "sleep_quality",
+        "appetite",
+        "social_activity",
+        "memory_complaints",
+    ]
+    labs = [
+        "fasting_glucose",
+        "hba1c",
+        "ldl_cholesterol",
+        "hdl_cholesterol",
+        "triglycerides",
+        "creatinine",
+        "egfr",
+        "hemoglobin",
+        "albumin",
+        "urate",
+        "alt",
+        "crp",
+        "vitamin_d",
+        "calcium",
+    ]
+    names = personal + clinical + psych + labs
+    if len(names) != NUM_FEATURES:
+        raise RuntimeError(f"feature arithmetic broken: {len(names)} names")
+    return names
+
+
+def _sample_diseases(
+    rng: np.random.Generator, n: int, disease_names: Sequence[str]
+) -> np.ndarray:
+    """Sample the latent multi-label disease state with comorbidity boosts."""
+    base = {
+        **{d: p for d, p in DISEASE_PREVALENCE.items() if d != "other"},
+        **_SECONDARY_PREVALENCE,
+    }
+    out = np.zeros((n, len(disease_names)), dtype=np.int64)
+    index = {d: i for i, d in enumerate(disease_names)}
+    # First pass: independent draws.
+    for disease, prob in base.items():
+        out[:, index[disease]] = rng.random(n) < prob
+    # Second pass: comorbidity boosts (re-draw conditionally).
+    for (cause, effect), boost in _COMORBIDITY.items():
+        has_cause = out[:, index[cause]] == 1
+        extra = np.minimum(base[effect] * boost, 0.95) - base[effect]
+        flip = has_cause & (rng.random(n) < extra)
+        out[flip, index[effect]] = 1
+    # Guarantee every patient has at least one chronic condition (the cohort
+    # was recruited for chronic disease study).
+    lonely = out.sum(axis=1) == 0
+    if lonely.any():
+        probs = np.array([base[d] for d in disease_names])
+        probs = probs / probs.sum()
+        out[lonely, :] = 0
+        chosen = rng.choice(len(disease_names), size=int(lonely.sum()), p=probs)
+        out[np.nonzero(lonely)[0], chosen] = 1
+    return out
+
+
+def _generate_features(
+    rng: np.random.Generator,
+    diseases: np.ndarray,
+    disease_names: Sequence[str],
+    feature_names: Sequence[str],
+) -> np.ndarray:
+    """Generate the 71 features from the latent disease state + noise.
+
+    Each block mirrors the questionnaire: continuous vitals shift with the
+    relevant disease, history items are noisy copies of the disease state,
+    and the psychological block correlates with disease burden.
+    """
+    n = diseases.shape[0]
+    index = {d: i for i, d in enumerate(disease_names)}
+    col = {name: i for i, name in enumerate(feature_names)}
+    x = np.zeros((n, len(feature_names)))
+
+    def has(d: str) -> np.ndarray:
+        return diseases[:, index[d]].astype(float)
+
+    burden = diseases.sum(axis=1).astype(float)
+
+    # --- personal block -------------------------------------------------
+    x[:, col["age"]] = rng.normal(75.0, 6.0, n) + burden
+    x[:, col["gender_male"]] = (rng.random(n) < 2254 / 4157).astype(float)
+    x[:, col["bmi"]] = rng.normal(23.5, 3.2, n) + 1.5 * has("type2_diabetes")
+    x[:, col["systolic_bp"]] = (
+        rng.normal(128.0, 12.0, n) + 18.0 * has("hypertension") + 4.0 * has("diabetic_nephropathy")
+    )
+    x[:, col["diastolic_bp"]] = rng.normal(76.0, 8.0, n) + 8.0 * has("hypertension")
+    x[:, col["heart_rate"]] = rng.normal(72.0, 9.0, n) + 5.0 * has("cardiovascular")
+    x[:, col["waist_circumference"]] = rng.normal(85.0, 9.0, n) + 4.0 * has("type2_diabetes")
+    x[:, col["grip_strength"]] = rng.normal(26.0, 6.0, n) - 1.5 * burden
+    x[:, col["gait_speed"]] = rng.normal(0.9, 0.2, n) - 0.05 * burden
+    x[:, col["smoker"]] = (rng.random(n) < 0.18 + 0.10 * has("asthma")).astype(float)
+    x[:, col["alcohol_weekly"]] = (rng.random(n) < 0.22).astype(float)
+    x[:, col["lives_alone"]] = (rng.random(n) < 0.15).astype(float)
+    x[:, col["education_years"]] = np.clip(rng.normal(6.0, 4.0, n), 0, 18)
+    x[:, col["falls_last_year"]] = (rng.random(n) < 0.1 + 0.02 * burden).astype(float)
+
+    # --- clinical history block ------------------------------------------
+    for disease in disease_names:
+        name = f"history_{disease}"
+        if name in col:
+            noisy = has(disease) * (rng.random(n) < 0.9) + (rng.random(n) < 0.03)
+            x[:, col[name]] = np.clip(noisy, 0, 1)
+
+    family_signal = {
+        "alpha_blocker": ["hypertension", "prostatic_hyperplasia"],
+        "beta_blocker": ["hypertension", "cardiovascular"],
+        "ace_inhibitor": ["hypertension", "diabetic_nephropathy"],
+        "arb": ["hypertension", "diabetic_nephropathy"],
+        "calcium_channel_blocker": ["hypertension"],
+        "diuretic": ["hypertension", "edema"],
+        "statin": ["cardiovascular", "myocardial_infarction"],
+        "antiplatelet": ["cardiovascular", "myocardial_infarction"],
+        "nsaid": ["arthritis"],
+        "ppi": ["erosive_esophagitis", "gastric_ulcer"],
+        "h2_blocker": ["gastric_ulcer"],
+        "sulfonylurea": ["type2_diabetes"],
+        "biguanide": ["type2_diabetes"],
+        "nitrate": ["cardiovascular", "myocardial_infarction"],
+        "anticonvulsant": ["seizures"],
+        "bronchodilator": ["asthma"],
+        "benzodiazepine": ["anxiety_disorder"],
+        "ssri": ["anxiety_disorder"],
+        "anticoagulant": ["thromboembolism"],
+    }
+    for family, sources in family_signal.items():
+        name = f"ever_taken_{family}"
+        signal = np.zeros(n)
+        for disease in sources:
+            signal = np.maximum(signal, has(disease))
+        taken = signal * (rng.random(n) < 0.8) + (rng.random(n) < 0.05)
+        x[:, col[name]] = np.clip(taken, 0, 1)
+
+    # --- psychological block ---------------------------------------------
+    x[:, col["gds_score"]] = np.clip(
+        rng.normal(3.0, 2.0, n) + 0.8 * burden + 2.0 * has("anxiety_disorder"), 0, 15
+    )
+    x[:, col["felt_downhearted"]] = (
+        rng.random(n) < 0.15 + 0.20 * has("anxiety_disorder")
+    ).astype(float)
+    x[:, col["felt_nervous"]] = (
+        rng.random(n) < 0.12 + 0.30 * has("anxiety_disorder")
+    ).astype(float)
+    x[:, col["felt_calm"]] = (
+        rng.random(n) < 0.70 - 0.25 * has("anxiety_disorder")
+    ).astype(float)
+    x[:, col["felt_energetic"]] = (rng.random(n) < np.clip(0.6 - 0.08 * burden, 0, 1)).astype(float)
+    x[:, col["sleep_quality"]] = np.clip(rng.normal(3.5, 1.0, n) - 0.3 * burden, 1, 5)
+    x[:, col["appetite"]] = np.clip(rng.normal(3.8, 0.8, n) - 0.2 * burden, 1, 5)
+    x[:, col["social_activity"]] = np.clip(rng.normal(3.0, 1.2, n) - 0.2 * burden, 0, 5)
+    x[:, col["memory_complaints"]] = (rng.random(n) < 0.2 + 0.02 * burden).astype(float)
+
+    # --- laboratory block --------------------------------------------------
+    x[:, col["fasting_glucose"]] = rng.normal(5.3, 0.7, n) + 2.5 * has("type2_diabetes")
+    x[:, col["hba1c"]] = rng.normal(5.6, 0.4, n) + 1.6 * has("type2_diabetes")
+    x[:, col["ldl_cholesterol"]] = rng.normal(3.0, 0.8, n) + 0.7 * has("cardiovascular")
+    x[:, col["hdl_cholesterol"]] = rng.normal(1.3, 0.3, n) - 0.15 * has("type2_diabetes")
+    x[:, col["triglycerides"]] = rng.normal(1.4, 0.6, n) + 0.5 * has("type2_diabetes")
+    x[:, col["creatinine"]] = rng.normal(80.0, 15.0, n) + 40.0 * has("diabetic_nephropathy")
+    x[:, col["egfr"]] = np.clip(
+        rng.normal(75.0, 15.0, n) - 30.0 * has("diabetic_nephropathy"), 5, 120
+    )
+    x[:, col["hemoglobin"]] = rng.normal(13.5, 1.4, n) - 1.0 * has("diabetic_nephropathy")
+    x[:, col["albumin"]] = rng.normal(42.0, 3.0, n) - 2.0 * has("diabetic_nephropathy")
+    x[:, col["urate"]] = rng.normal(0.35, 0.07, n) + 0.08 * has("arthritis")
+    x[:, col["alt"]] = rng.normal(25.0, 10.0, n)
+    x[:, col["crp"]] = np.abs(rng.normal(2.0, 2.0, n) + 3.0 * has("arthritis"))
+    x[:, col["vitamin_d"]] = rng.normal(55.0, 18.0, n)
+    x[:, col["calcium"]] = rng.normal(2.35, 0.1, n)
+    return x
+
+
+def _assign_medications(
+    rng: np.random.Generator,
+    diseases: np.ndarray,
+    disease_names: Sequence[str],
+    catalog: List[Drug],
+    ddi: DDIDataset,
+    antagonism_tolerance: float,
+) -> np.ndarray:
+    """Prescribe drugs per active disease, then apply DDI-aware adjustment."""
+    n = diseases.shape[0]
+    num_drugs = len(catalog)
+    by_disease = drugs_by_disease(catalog)
+    # Diseases with no dedicated catalog drugs are treated with the drugs of
+    # a clinically adjacent class (e.g. post-MI patients get cardiovascular
+    # medication).
+    aliases = {"myocardial_infarction": "cardiovascular"}
+    for disease, target in aliases.items():
+        by_disease.setdefault(disease, by_disease[target])
+    index = {d: i for i, d in enumerate(disease_names)}
+    # Zipf-ish popularity inside each class: first drugs are prescribed more.
+    popularity: Dict[str, np.ndarray] = {}
+    for disease, dids in by_disease.items():
+        ranks = np.arange(1, len(dids) + 1, dtype=float)
+        weights = 1.0 / ranks
+        popularity[disease] = weights / weights.sum()
+
+    y = np.zeros((n, num_drugs), dtype=np.int64)
+    graph = ddi.graph
+    for i in range(n):
+        chosen: List[int] = []
+        for disease in disease_names:
+            if disease not in by_disease or diseases[i, index[disease]] == 0:
+                continue
+            count = int(rng.integers(1, min(3, len(by_disease[disease])) + 1))
+            picks = rng.choice(
+                by_disease[disease], size=count, replace=False, p=popularity[disease]
+            )
+            chosen.extend(int(p) for p in picks)
+        # DDI adjustment pass 1: drop antagonistic pairs (keep a tolerated
+        # fraction, reproducing Case 4's real-world antagonistic usage).
+        kept: List[int] = []
+        for drug in chosen:
+            conflict = any(
+                graph.sign_or_none(drug, other) == -1 for other in kept
+            )
+            if conflict and rng.random() > antagonism_tolerance:
+                continue
+            if drug not in kept:
+                kept.append(drug)
+        # DDI adjustment pass 2: add a synergistic partner occasionally.
+        for drug in list(kept):
+            if rng.random() < 0.35:
+                partners = [
+                    p
+                    for p in graph.positive_neighbors(drug)
+                    if p not in kept
+                    and not any(graph.sign_or_none(p, k) == -1 for k in kept)
+                ]
+                if partners:
+                    kept.append(int(rng.choice(partners)))
+        y[i, kept] = 1
+    return y
+
+
+def generate_chronic_cohort(
+    num_patients: int = 4157,
+    seed: int = 11,
+    ddi: Optional[DDIDataset] = None,
+    antagonism_tolerance: float = 0.08,
+) -> ChronicCohort:
+    """Generate the full synthetic cohort.
+
+    Args:
+        num_patients: cohort size (the paper's cohort has 4157 records).
+        seed: RNG seed for full determinism.
+        ddi: reuse an existing DDI dataset; a default is generated otherwise.
+        antagonism_tolerance: probability that an antagonistic
+            co-prescription survives (Case 4 behaviour).
+    """
+    if num_patients < 1:
+        raise ValueError("num_patients must be positive")
+    if not 0.0 <= antagonism_tolerance <= 1.0:
+        raise ValueError("antagonism_tolerance must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    if ddi is None:
+        ddi = generate_ddi(seed=seed)
+    disease_names = all_diseases()
+    feature_names = _feature_names()
+    diseases = _sample_diseases(rng, num_patients, disease_names)
+    features = _generate_features(rng, diseases, disease_names, feature_names)
+    medications = _assign_medications(
+        rng, diseases, disease_names, ddi.catalog, ddi, antagonism_tolerance
+    )
+    return ChronicCohort(
+        features=features,
+        medications=medications,
+        diseases=diseases,
+        feature_names=feature_names,
+        disease_names=disease_names,
+        catalog=ddi.catalog,
+        ddi=ddi,
+    )
+
+
+def standardize_features(features: np.ndarray) -> np.ndarray:
+    """Z-score features column-wise (constant columns become zero)."""
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std = np.where(std > 0, std, 1.0)
+    return (features - mean) / std

@@ -1,0 +1,51 @@
+"""Patient splits: the paper's 5:3:2 train/validation/test protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Split:
+    """Index arrays for one train/validation/test partition."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return len(self.train), len(self.val), len(self.test)
+
+
+def split_patients(
+    num_patients: int,
+    ratios: Tuple[float, float, float] = (0.5, 0.3, 0.2),
+    seed: int = 29,
+) -> Split:
+    """Random patient split with the paper's 5:3:2 default.
+
+    The split is over *patients* (observed vs unobserved, Definition 3):
+    train patients' links are visible during training; validation/test
+    patients are entirely held out.
+    """
+    if num_patients < 3:
+        raise ValueError("need at least 3 patients to split")
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {ratios}")
+    if any(r <= 0 for r in ratios):
+        raise ValueError("all ratios must be positive")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_patients)
+    n_train = max(1, int(round(ratios[0] * num_patients)))
+    n_val = max(1, int(round(ratios[1] * num_patients)))
+    n_train = min(n_train, num_patients - 2)
+    n_val = min(n_val, num_patients - n_train - 1)
+    return Split(
+        train=np.sort(order[:n_train]),
+        val=np.sort(order[n_train : n_train + n_val]),
+        test=np.sort(order[n_train + n_val :]),
+    )

@@ -1,0 +1,51 @@
+"""Command-line entry: ``python -m repro.experiments <experiment> [--scale s]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cases import main_fig8, main_fig9
+from .figures import main_fig2, main_fig3, main_fig7
+from .table1 import main as main_table1
+from .table2 import main as main_table2
+from .table3 import main as main_table3
+from .table4 import main as main_table4
+
+EXPERIMENTS = {
+    "fig2": lambda scale: main_fig2(),
+    "fig3": lambda scale: main_fig3(),
+    "table1": main_table1,
+    "table2": main_table2,
+    "table3": main_table3,
+    "table4": main_table4,
+    "fig7": main_fig7,
+    "fig8": main_fig8,
+    "fig9": main_fig9,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table or figure of the DSSDDI paper.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=["small", "medium", "full"],
+        help="cohort size / training length preset (default: small)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in ["fig2", "fig3", "table1", "table2", "table3", "fig7", "fig8", "table4", "fig9"]:
+            print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
+            EXPERIMENTS[name](args.scale)
+        return 0
+    EXPERIMENTS[args.experiment](args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

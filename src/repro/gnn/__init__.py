@@ -1,0 +1,47 @@
+"""Graph neural network layers on top of ``repro.nn``.
+
+All four DDIGCN backbones evaluated in the paper (GIN, SGCN, SiGAT, SNEA),
+the LightGCN propagation shared by MDGCN, and the building blocks of the
+GNN baselines (GCMC encoder/decoder, GRU for SafeDrug/CauseRec).
+"""
+
+from .propagation import (
+    bipartite_propagation,
+    interaction_mean_adjacency,
+    mean_adjacency,
+    signed_edge_arrays,
+    signed_mean_adjacencies,
+    symmetric_adjacency,
+)
+from .gin import GINConv, GINEncoder
+from .sgcn import SGCNConv, SGCNEncoder
+from .attention import EdgeAttentionHead
+from .sigat import SiGATEncoder, SiGATLayer
+from .snea import SNEAEncoder, SNEALayer
+from .lightgcn import LightGCNPropagation, default_layer_weights
+from .gcmc import BilinearDecoder, GCMCEncoder
+from .gru import GRUCell, GRUEncoder
+
+__all__ = [
+    "mean_adjacency",
+    "symmetric_adjacency",
+    "signed_mean_adjacencies",
+    "interaction_mean_adjacency",
+    "bipartite_propagation",
+    "signed_edge_arrays",
+    "GINConv",
+    "GINEncoder",
+    "SGCNConv",
+    "SGCNEncoder",
+    "EdgeAttentionHead",
+    "SiGATLayer",
+    "SiGATEncoder",
+    "SNEALayer",
+    "SNEAEncoder",
+    "LightGCNPropagation",
+    "default_layer_weights",
+    "GCMCEncoder",
+    "BilinearDecoder",
+    "GRUCell",
+    "GRUEncoder",
+]

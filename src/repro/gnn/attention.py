@@ -1,0 +1,63 @@
+"""Shared GAT-style attention aggregation over an edge list.
+
+Both attention-based signed backbones (SiGAT, SNEA) score each directed
+edge with a small additive-attention head, normalize scores per destination
+node with a segment softmax, and aggregate transformed source features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    Linear,
+    Module,
+    Tensor,
+    concat,
+    gather_rows,
+    init as initializers,
+    segment_softmax,
+    segment_sum,
+)
+
+
+class EdgeAttentionHead(Module):
+    """Additive attention: alpha_ij = softmax_j LeakyReLU(a^T [W h_i, W h_j]).
+
+    ``forward`` aggregates messages from ``src`` into ``dst`` buckets using
+    attention weights computed on the transformed features.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.transform = Linear(in_dim, out_dim, rng, bias=False)
+        self.attn_src = self.register_parameter(
+            "attn_src", initializers.xavier_uniform(rng, (out_dim,))
+        )
+        self.attn_dst = self.register_parameter(
+            "attn_dst", initializers.xavier_uniform(rng, (out_dim,))
+        )
+
+    def forward(
+        self,
+        features: Tensor,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_nodes: int,
+    ) -> Tensor:
+        """Aggregate ``features[src]`` into ``dst`` with attention weights.
+
+        Returns an (num_nodes, out_dim) tensor; nodes receiving no message
+        get a zero row.
+        """
+        transformed = self.transform(features)
+        if len(src) == 0:
+            zero = Tensor(np.zeros((num_nodes, transformed.shape[1])))
+            return zero
+        h_src = gather_rows(transformed, src)
+        h_dst = gather_rows(transformed, dst)
+        scores = (h_src * self.attn_src).sum(axis=1) + (h_dst * self.attn_dst).sum(axis=1)
+        scores = scores.leaky_relu(0.2)
+        alpha = segment_softmax(scores, dst, num_nodes)
+        weighted = h_src * alpha.reshape(-1, 1)
+        return segment_sum(weighted, dst, num_nodes)

@@ -1,0 +1,57 @@
+"""Gated Recurrent Unit (Chung et al., 2014).
+
+SafeDrug encodes a patient's visit history with a GRU; CauseRec consumes
+behaviour sequences.  This is a standard GRU cell plus a sequence encoder
+returning the final hidden state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, concat
+
+
+class GRUCell(Module):
+    """Single-step GRU: h' = (1 - z) * h + z * htilde."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.reset_gate = Linear(input_dim + hidden_dim, hidden_dim, rng)
+        self.update_gate = Linear(input_dim + hidden_dim, hidden_dim, rng)
+        self.candidate = Linear(input_dim + hidden_dim, hidden_dim, rng)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        xh = concat([x, h], axis=-1)
+        reset = self.reset_gate(xh).sigmoid()
+        update = self.update_gate(xh).sigmoid()
+        candidate = self.candidate(concat([x, h * reset], axis=-1)).tanh()
+        return h * (1.0 - update) + candidate * update
+
+
+class GRUEncoder(Module):
+    """Encode a sequence of step features into a final hidden state.
+
+    ``forward`` takes a list of (batch, input_dim) tensors — one per visit —
+    and returns the (batch, hidden_dim) final state.  Patients have varying
+    visit counts; callers pad/slice per patient group.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+
+    def forward(self, steps: Sequence[Tensor], h0: Optional[Tensor] = None) -> Tensor:
+        if not steps:
+            raise ValueError("need at least one step")
+        batch = steps[0].shape[0]
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_dim)))
+        for step in steps:
+            if step.shape[0] != batch:
+                raise ValueError("all steps must share the batch dimension")
+            h = self.cell(step, h)
+        return h

@@ -1,0 +1,70 @@
+"""LightGCN propagation (He et al., SIGIR 2020).
+
+LightGCN drops feature transforms and nonlinearities; the MDGCN of the
+paper (Eq. 11-13) uses exactly this propagation over the patient-drug
+bipartite graph with per-layer combination weights beta_t.  This module
+exposes the propagation as a reusable component consumed by both the
+MDGCN core and the LightGCN baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import Module, Tensor, matmul_fixed
+
+
+def default_layer_weights(num_layers: int) -> List[float]:
+    """The paper's beta_t = 1 / (t + 2) schedule, t = 0..num_layers."""
+    return [1.0 / (t + 2.0) for t in range(num_layers + 1)]
+
+
+class LightGCNPropagation(Module):
+    """Parameter-free bipartite propagation with layer combination.
+
+    Args to ``forward``:
+        h_patients: (m, d) patient features at layer 0.
+        h_drugs: (n, d) drug features at layer 0.
+        p2d / d2p: normalized adjacencies from
+            :meth:`repro.graph.BipartiteGraph.normalized_adjacency`.
+
+    Returns the layer-combined (patients, drugs) representations:
+        h'_v = sum_t beta_t h_v^(t)   (Eq. 13)
+    """
+
+    def __init__(self, num_layers: int, layer_weights: Optional[Sequence[float]] = None) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one propagation layer")
+        self.num_layers = num_layers
+        if layer_weights is None:
+            layer_weights = default_layer_weights(num_layers)
+        if len(layer_weights) != num_layers + 1:
+            raise ValueError(
+                f"need {num_layers + 1} layer weights (layers 0..{num_layers}), "
+                f"got {len(layer_weights)}"
+            )
+        if any(w < 0 for w in layer_weights):
+            raise ValueError("layer weights must be non-negative")
+        self.layer_weights = [float(w) for w in layer_weights]
+
+    def forward(
+        self,
+        h_patients: Tensor,
+        h_drugs: Tensor,
+        p2d: np.ndarray,
+        d2p: np.ndarray,
+    ) -> Tuple[Tensor, Tensor]:
+        patients_combined = h_patients * self.layer_weights[0]
+        drugs_combined = h_drugs * self.layer_weights[0]
+        current_patients, current_drugs = h_patients, h_drugs
+        for t in range(1, self.num_layers + 1):
+            next_patients = matmul_fixed(p2d, current_drugs)   # Eq. (11)
+            next_drugs = matmul_fixed(d2p, current_patients)   # Eq. (12)
+            current_patients, current_drugs = next_patients, next_drugs
+            weight = self.layer_weights[t]
+            patients_combined = patients_combined + current_patients * weight
+            drugs_combined = drugs_combined + current_drugs * weight
+        return patients_combined, drugs_combined

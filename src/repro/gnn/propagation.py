@@ -1,0 +1,85 @@
+"""Adjacency normalization helpers shared by the GNN layers.
+
+The DDI graph has 86 drugs and the evaluation cohorts a few thousand
+patients, so dense propagation matrices are the simplest correct choice.
+Every helper returns plain numpy arrays that enter the autograd graph as
+constants via :func:`repro.nn.matmul_fixed`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..graph import BipartiteGraph, SignedGraph
+
+
+def mean_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Row-normalize a 0/1 adjacency: ``M[i, j] = A[i, j] / deg(i)``.
+
+    Rows with zero degree stay zero (isolated nodes aggregate nothing).
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    degree = adjacency.sum(axis=1)
+    scale = np.divide(1.0, degree, out=np.zeros_like(degree), where=degree > 0)
+    return adjacency * scale[:, None]
+
+
+def symmetric_adjacency(adjacency: np.ndarray, self_loops: bool = False) -> np.ndarray:
+    """GCN-style D^-1/2 (A [+ I]) D^-1/2 normalization."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if self_loops:
+        adjacency = adjacency + np.eye(adjacency.shape[0])
+    degree = adjacency.sum(axis=1)
+    inv_sqrt = np.divide(
+        1.0, np.sqrt(degree), out=np.zeros_like(degree), where=degree > 0
+    )
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def signed_mean_adjacencies(graph: SignedGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-normalized positive and negative adjacencies (B_v and U_v paths)."""
+    signed = graph.signed_adjacency()
+    positive = (signed > 0).astype(np.float64)
+    negative = (signed < 0).astype(np.float64)
+    return mean_adjacency(positive), mean_adjacency(negative)
+
+
+def interaction_mean_adjacency(graph: SignedGraph, include_zero: bool = True) -> np.ndarray:
+    """Row-normalized adjacency over *all* interactions.
+
+    The paper's GIN backbone aggregates over N_v = drugs that have any
+    interaction with v, including the sampled "no interaction" (0) edges
+    when ``include_zero`` is set.
+    """
+    mat = np.zeros((graph.num_nodes, graph.num_nodes))
+    for u, v, sign in graph.edges_with_signs():
+        if sign == 0 and not include_zero:
+            continue
+        mat[u, v] = 1.0
+        mat[v, u] = 1.0
+    return mean_adjacency(mat)
+
+
+def bipartite_propagation(graph: BipartiteGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric-normalized patient->drug and drug->patient matrices."""
+    return graph.normalized_adjacency()
+
+
+def signed_edge_arrays(graph: SignedGraph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Edge list as (sources, targets, signs) arrays with both directions.
+
+    Attention layers (SiGAT, SNEA) iterate edges rather than using dense
+    matrices; every undirected edge is emitted in both directions.
+    """
+    src, dst, signs = [], [], []
+    for u, v, sign in graph.edges_with_signs():
+        src.extend((u, v))
+        dst.extend((v, u))
+        signs.extend((sign, sign))
+    return (
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(signs, dtype=np.int64),
+    )

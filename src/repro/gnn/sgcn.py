@@ -1,0 +1,90 @@
+"""Signed Graph Convolutional Network (Derr et al., ICDM 2018).
+
+The best-performing DDIGCN backbone in the paper (Table I).  Implements
+Eq. (2)-(4): each drug keeps a synergistic ("balanced", hB) and an
+antagonistic ("unbalanced", hU) representation.
+
+    hB_v = sigma( WB [ mean_{e_iv=+1} hB_i,  mean_{e_jv=-1} hU_j,  hB_v ] )
+    hU_v = sigma( WU [ mean_{e_iv=+1} hU_i,  mean_{e_jv=-1} hB_j,  hU_v ] )
+    z_v  = [ hB_v, hU_v ]
+
+The positive path propagates "friendly" signal along synergy edges; the
+negative path captures antagonism via the crossed terms (balance theory).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, concat, matmul_fixed
+
+
+class SGCNConv(Module):
+    """One signed convolution layer updating (hB, hU) jointly."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        # Each path consumes [pos-aggregate, neg-aggregate, self] = 3 * in_dim.
+        self.linear_balanced = Linear(3 * in_dim, out_dim, rng)
+        self.linear_unbalanced = Linear(3 * in_dim, out_dim, rng)
+
+    def forward(
+        self,
+        h_balanced: Tensor,
+        h_unbalanced: Tensor,
+        pos_mean: np.ndarray,
+        neg_mean: np.ndarray,
+    ) -> Tuple[Tensor, Tensor]:
+        pos_b = matmul_fixed(pos_mean, h_balanced)
+        neg_u = matmul_fixed(neg_mean, h_unbalanced)
+        new_balanced = self.linear_balanced(
+            concat([pos_b, neg_u, h_balanced], axis=1)
+        ).tanh()
+
+        pos_u = matmul_fixed(pos_mean, h_unbalanced)
+        neg_b = matmul_fixed(neg_mean, h_balanced)
+        new_unbalanced = self.linear_unbalanced(
+            concat([pos_u, neg_b, h_unbalanced], axis=1)
+        ).tanh()
+        return new_balanced, new_unbalanced
+
+
+class SGCNEncoder(Module):
+    """Stacked SGCN producing z_v = [hB_v, hU_v] (Eq. 4)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one SGCN layer")
+        if hidden_dim % 2 != 0:
+            raise ValueError("hidden_dim must be even (split across B/U paths)")
+        half = hidden_dim // 2
+        self.input_balanced = Linear(in_dim, half, rng)
+        self.input_unbalanced = Linear(in_dim, half, rng)
+        self.convs: List[SGCNConv] = []
+        for i in range(num_layers):
+            conv = SGCNConv(half, half, rng)
+            self.register_module(f"conv{i}", conv)
+            self.convs.append(conv)
+        self._out_dim = hidden_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self._out_dim
+
+    def forward(
+        self, x: Tensor, pos_mean: np.ndarray, neg_mean: np.ndarray
+    ) -> Tensor:
+        h_balanced = self.input_balanced(x).tanh()
+        h_unbalanced = self.input_unbalanced(x).tanh()
+        for conv in self.convs:
+            h_balanced, h_unbalanced = conv(h_balanced, h_unbalanced, pos_mean, neg_mean)
+        return concat([h_balanced, h_unbalanced], axis=1)

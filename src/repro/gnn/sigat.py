@@ -1,0 +1,80 @@
+"""SiGAT: Signed Graph Attention Network (Huang et al., ICANN 2019).
+
+SiGAT runs one attention head per signed relation ("motif") and fuses the
+per-relation aggregates with a node-level MLP.  This reproduction keeps the
+two fundamental relations of the DDI graph — synergy (+) and antagonism (-)
+— which is exactly the relation set available in DrugCombDB.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..nn import MLP, Module, Tensor, concat
+from .attention import EdgeAttentionHead
+
+
+class SiGATLayer(Module):
+    """One SiGAT block: per-sign attention heads + fusion MLP."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.positive_head = EdgeAttentionHead(in_dim, out_dim, rng)
+        self.negative_head = EdgeAttentionHead(in_dim, out_dim, rng)
+        # Fuse [self, positive aggregate, negative aggregate].
+        self.fuse = MLP([in_dim + 2 * out_dim, out_dim], rng)
+
+    def forward(
+        self,
+        features: Tensor,
+        src: np.ndarray,
+        dst: np.ndarray,
+        signs: np.ndarray,
+        num_nodes: int,
+    ) -> Tensor:
+        pos_mask = signs > 0
+        neg_mask = signs < 0
+        pos_agg = self.positive_head(features, src[pos_mask], dst[pos_mask], num_nodes)
+        neg_agg = self.negative_head(features, src[neg_mask], dst[neg_mask], num_nodes)
+        fused = concat([features, pos_agg, neg_agg], axis=1)
+        return self.fuse(fused).tanh()
+
+
+class SiGATEncoder(Module):
+    """Stacked SiGAT layers for drug relation embeddings."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one SiGAT layer")
+        self.layers: List[SiGATLayer] = []
+        dims = [in_dim] + [hidden_dim] * num_layers
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = SiGATLayer(d_in, d_out, rng)
+            self.register_module(f"layer{i}", layer)
+            self.layers.append(layer)
+        self._out_dim = hidden_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self._out_dim
+
+    def forward(
+        self,
+        x: Tensor,
+        src: np.ndarray,
+        dst: np.ndarray,
+        signs: np.ndarray,
+        num_nodes: int,
+    ) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, src, dst, signs, num_nodes)
+        return x

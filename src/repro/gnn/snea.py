@@ -1,0 +1,104 @@
+"""SNEA: Learning Signed Network Embedding via Graph Attention (Li et al., AAAI 2020).
+
+SNEA extends the balanced/unbalanced two-path design of SGCN with
+attention-weighted aggregation: each path aggregates its neighbours with
+learned attention instead of uniform means, then the two paths are
+concatenated exactly like Eq. (4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, concat
+from .attention import EdgeAttentionHead
+
+
+class SNEALayer(Module):
+    """Attention-based balanced/unbalanced update.
+
+    Balanced path: attends over balanced features of synergistic neighbours
+    and unbalanced features of antagonistic neighbours (balance theory, as
+    in SGCN) — but with attention weights per edge.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.balanced_pos = EdgeAttentionHead(in_dim, out_dim, rng)
+        self.balanced_neg = EdgeAttentionHead(in_dim, out_dim, rng)
+        self.unbalanced_pos = EdgeAttentionHead(in_dim, out_dim, rng)
+        self.unbalanced_neg = EdgeAttentionHead(in_dim, out_dim, rng)
+        self.project_balanced = Linear(in_dim + 2 * out_dim, out_dim, rng)
+        self.project_unbalanced = Linear(in_dim + 2 * out_dim, out_dim, rng)
+
+    def forward(
+        self,
+        h_balanced: Tensor,
+        h_unbalanced: Tensor,
+        src: np.ndarray,
+        dst: np.ndarray,
+        signs: np.ndarray,
+        num_nodes: int,
+    ) -> Tuple[Tensor, Tensor]:
+        pos = signs > 0
+        neg = signs < 0
+        bal_pos = self.balanced_pos(h_balanced, src[pos], dst[pos], num_nodes)
+        bal_neg = self.balanced_neg(h_unbalanced, src[neg], dst[neg], num_nodes)
+        new_balanced = self.project_balanced(
+            concat([bal_pos, bal_neg, h_balanced], axis=1)
+        ).tanh()
+
+        unb_pos = self.unbalanced_pos(h_unbalanced, src[pos], dst[pos], num_nodes)
+        unb_neg = self.unbalanced_neg(h_balanced, src[neg], dst[neg], num_nodes)
+        new_unbalanced = self.project_unbalanced(
+            concat([unb_pos, unb_neg, h_unbalanced], axis=1)
+        ).tanh()
+        return new_balanced, new_unbalanced
+
+
+class SNEAEncoder(Module):
+    """Stacked SNEA layers; output is [hB, hU] like SGCN."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one SNEA layer")
+        if hidden_dim % 2 != 0:
+            raise ValueError("hidden_dim must be even (split across B/U paths)")
+        half = hidden_dim // 2
+        self.input_balanced = Linear(in_dim, half, rng)
+        self.input_unbalanced = Linear(in_dim, half, rng)
+        self.layers: List[SNEALayer] = []
+        for i in range(num_layers):
+            layer = SNEALayer(half, half, rng)
+            self.register_module(f"layer{i}", layer)
+            self.layers.append(layer)
+        self._out_dim = hidden_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self._out_dim
+
+    def forward(
+        self,
+        x: Tensor,
+        src: np.ndarray,
+        dst: np.ndarray,
+        signs: np.ndarray,
+        num_nodes: int,
+    ) -> Tensor:
+        h_balanced = self.input_balanced(x).tanh()
+        h_unbalanced = self.input_unbalanced(x).tanh()
+        for layer in self.layers:
+            h_balanced, h_unbalanced = layer(
+                h_balanced, h_unbalanced, src, dst, signs, num_nodes
+            )
+        return concat([h_balanced, h_unbalanced], axis=1)

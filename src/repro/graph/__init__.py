@@ -1,0 +1,56 @@
+"""Graph substrate: graph types, truss machinery and community search.
+
+These modules implement everything the Medical Support module needs
+(Definitions 5-6 and Algorithm 1 of the paper) plus the signed DDI and
+bipartite medication-use graphs used by the learning modules.
+"""
+
+from .graph import BipartiteGraph, Edge, Graph, SignedGraph, edge_key
+from .triangles import all_edge_supports, count_triangles, edge_support, triangles
+from .truss import (
+    is_p_truss,
+    max_truss_subgraph,
+    peel_to_p_truss,
+    truss_decomposition,
+)
+from .shortest import (
+    bfs_distances,
+    component_containing,
+    connected_components,
+    diameter,
+    graph_query_distance,
+    is_connected_subset,
+    query_distance,
+    shortest_path,
+)
+from .steiner import steiner_tree, truss_distance_weight, uniform_weight
+from .ctc import CTCResult, closest_truss_community
+
+__all__ = [
+    "Graph",
+    "SignedGraph",
+    "BipartiteGraph",
+    "Edge",
+    "edge_key",
+    "edge_support",
+    "all_edge_supports",
+    "triangles",
+    "count_triangles",
+    "truss_decomposition",
+    "max_truss_subgraph",
+    "is_p_truss",
+    "peel_to_p_truss",
+    "bfs_distances",
+    "shortest_path",
+    "is_connected_subset",
+    "connected_components",
+    "component_containing",
+    "diameter",
+    "query_distance",
+    "graph_query_distance",
+    "steiner_tree",
+    "uniform_weight",
+    "truss_distance_weight",
+    "CTCResult",
+    "closest_truss_community",
+]

@@ -1,0 +1,186 @@
+"""Mehlhorn's 2-approximation for the Steiner tree problem (reference [23]).
+
+Algorithm 1 of the paper seeds the community search with a Steiner tree over
+the suggested drugs.  Following Huang et al. [22], edge weights are *truss
+distances*: an edge with a high truss number is "short", so the tree prefers
+densely-connected connections between query drugs.
+
+Mehlhorn's construction:
+1. compute the Voronoi partition of the graph around the terminals
+   (multi-source Dijkstra),
+2. build the terminal distance graph G1' whose edge (s, t) weight is the
+   cheapest path touching the two Voronoi cells,
+3. take a minimum spanning tree of G1', expand its edges back into graph
+   paths, take an MST of that subgraph, and prune non-terminal leaves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .graph import Edge, Graph, edge_key
+
+WeightFn = Callable[[int, int], float]
+
+
+def uniform_weight(_u: int, _v: int) -> float:
+    """Unweighted Steiner tree (every edge costs 1)."""
+    return 1.0
+
+
+def truss_distance_weight(truss: Dict[Edge, int], max_truss: int) -> WeightFn:
+    """Edge weight ``max_truss - truss(e) + 1``: high truss => short edge."""
+
+    def weight(u: int, v: int) -> float:
+        return float(max_truss - truss.get(edge_key(u, v), 2) + 1)
+
+    return weight
+
+
+def _voronoi(
+    graph: Graph, terminals: Sequence[int], weight: WeightFn
+) -> Tuple[List[float], List[int]]:
+    """Multi-source Dijkstra: distance and owning terminal for every node."""
+    dist = [float("inf")] * graph.num_nodes
+    owner = [-1] * graph.num_nodes
+    heap: List[Tuple[float, int, int]] = []
+    for t in terminals:
+        dist[t] = 0.0
+        owner[t] = t
+        heapq.heappush(heap, (0.0, t, t))
+    while heap:
+        d, node, src = heapq.heappop(heap)
+        if d > dist[node] or owner[node] != src:
+            continue
+        for neighbor in graph.neighbors(node):
+            nd = d + weight(node, neighbor)
+            if nd < dist[neighbor]:
+                dist[neighbor] = nd
+                owner[neighbor] = src
+                heapq.heappush(heap, (nd, neighbor, src))
+    return dist, owner
+
+
+def _dijkstra_path(
+    graph: Graph, source: int, target: int, weight: WeightFn
+) -> Optional[List[int]]:
+    dist = {source: 0.0}
+    parent: Dict[int, int] = {}
+    heap = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            return path[::-1]
+        if d > dist.get(node, float("inf")):
+            continue
+        for neighbor in graph.neighbors(node):
+            nd = d + weight(node, neighbor)
+            if nd < dist.get(neighbor, float("inf")):
+                dist[neighbor] = nd
+                parent[neighbor] = node
+                heapq.heappush(heap, (nd, neighbor))
+    return None
+
+
+def _mst_edges(
+    nodes: Sequence[int], edges: List[Tuple[float, int, int]]
+) -> List[Tuple[int, int]]:
+    """Kruskal MST over an explicit edge list; ignores unreachable parts."""
+    parent = {n: n for n in nodes}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    tree: List[Tuple[int, int]] = []
+    for _w, u, v in sorted(edges):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            tree.append((u, v))
+    return tree
+
+
+def steiner_tree(
+    graph: Graph,
+    terminals: Sequence[int],
+    weight: Optional[WeightFn] = None,
+) -> Graph:
+    """Mehlhorn 2-approximate Steiner tree connecting ``terminals``.
+
+    Returns a subgraph of ``graph`` (same node-id space) that is a tree
+    containing every terminal.  Raises ``ValueError`` when the terminals do
+    not lie in one connected component.
+    """
+    terminals = sorted(set(terminals))
+    if not terminals:
+        raise ValueError("need at least one terminal")
+    if weight is None:
+        weight = uniform_weight
+
+    if len(terminals) == 1:
+        tree = Graph(graph.num_nodes)
+        return tree
+
+    dist, owner = _voronoi(graph, terminals, weight)
+    for t in terminals:
+        if owner[t] == -1:
+            raise ValueError("terminal unreachable")
+
+    # Terminal distance graph: for every boundary edge (u, v) between two
+    # Voronoi cells, candidate terminal-terminal distance.
+    candidate: Dict[Tuple[int, int], Tuple[float, Edge]] = {}
+    for u, v in graph.edges():
+        su, sv = owner[u], owner[v]
+        if su == -1 or sv == -1 or su == sv:
+            continue
+        cost = dist[u] + weight(u, v) + dist[v]
+        key = (min(su, sv), max(su, sv))
+        if key not in candidate or cost < candidate[key][0]:
+            candidate[key] = (cost, (u, v))
+
+    terminal_edges = [(cost, s, t) for (s, t), (cost, _e) in candidate.items()]
+    mst1 = _mst_edges(terminals, terminal_edges)
+    if len(mst1) < len(terminals) - 1:
+        raise ValueError("terminals are not in one connected component")
+
+    # Expand each terminal-graph edge into a real path through the graph.
+    subgraph_nodes: Set[int] = set(terminals)
+    subgraph_edges: Set[Edge] = set()
+    for s, t in mst1:
+        _cost, (u, v) = candidate[(min(s, t), max(s, t))]
+        path_su = _dijkstra_path(graph, s, u, weight)
+        path_vt = _dijkstra_path(graph, v, t, weight)
+        if path_su is None or path_vt is None:  # pragma: no cover - guarded above
+            raise ValueError("internal error: boundary path missing")
+        full_path = path_su + path_vt
+        for a, b in zip(full_path[:-1], full_path[1:]):
+            subgraph_nodes.add(a)
+            subgraph_nodes.add(b)
+            subgraph_edges.add(edge_key(a, b))
+
+    # MST of the expanded subgraph, then prune non-terminal leaves.
+    weighted = [(weight(u, v), u, v) for u, v in subgraph_edges]
+    mst2 = _mst_edges(sorted(subgraph_nodes), weighted)
+
+    tree = Graph(graph.num_nodes)
+    for u, v in mst2:
+        tree.add_edge(u, v)
+
+    terminal_set = set(terminals)
+    pruning = True
+    while pruning:
+        pruning = False
+        for node in list(subgraph_nodes):
+            if node not in terminal_set and tree.degree(node) == 1:
+                neighbor = next(iter(tree.neighbors(node)))
+                tree.remove_edge(node, neighbor)
+                subgraph_nodes.discard(node)
+                pruning = True
+    return tree

@@ -1,0 +1,45 @@
+"""Triangle/support counting (Definition 5 groundwork).
+
+The support of an edge (u, v) is the number of triangles containing it,
+i.e. ``|N(u) ∩ N(v)|`` in a simple undirected graph.  Truss decomposition
+and the p-truss check are built on these counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from .graph import Edge, Graph, edge_key
+
+
+def edge_support(graph: Graph, u: int, v: int) -> int:
+    """Number of triangles through edge (u, v)."""
+    if not graph.has_edge(u, v):
+        raise KeyError(f"edge ({u}, {v}) not in graph")
+    neighbors_u = graph.neighbors(u)
+    neighbors_v = graph.neighbors(v)
+    # Iterate over the smaller set for O(min(deg)) intersection.
+    if len(neighbors_u) > len(neighbors_v):
+        neighbors_u, neighbors_v = neighbors_v, neighbors_u
+    return sum(1 for w in neighbors_u if w in neighbors_v)
+
+
+def all_edge_supports(graph: Graph) -> Dict[Edge, int]:
+    """Support of every edge, keyed canonically."""
+    return {
+        (u, v): edge_support(graph, u, v)
+        for u, v in graph.edges()
+    }
+
+
+def triangles(graph: Graph) -> Iterator[Tuple[int, int, int]]:
+    """Enumerate each triangle exactly once as an ordered tuple u < v < w."""
+    for u, v in sorted(graph.edge_set()):
+        common = graph.neighbors(u) & graph.neighbors(v)
+        for w in sorted(common):
+            if w > v:
+                yield (u, v, w)
+
+
+def count_triangles(graph: Graph) -> int:
+    return sum(1 for _ in triangles(graph))

@@ -1,0 +1,97 @@
+"""Ranking metrics: Precision@k, Recall@k, NDCG@k (Eq. 21-24).
+
+The paper's Precision@k and Recall@k are *micro*-averaged over patients
+(sums in numerator and denominator, Eq. 21-22); NDCG@k is macro-averaged
+(mean over patients, Eq. 23).  Patients with no ground-truth drugs are
+skipped for NDCG (their IDCG is zero) and contribute nothing to the
+recall denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest scores per row, in descending score order."""
+    scores = np.asarray(scores)
+    if scores.ndim != 2:
+        raise ValueError("scores must be (num_patients, num_drugs)")
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError(f"k must be in [1, {scores.shape[1]}], got {k}")
+    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    row = np.arange(scores.shape[0])[:, None]
+    order = np.argsort(-scores[row, part], axis=1, kind="stable")
+    return part[row, order]
+
+
+def precision_at_k(scores: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Eq. 21: sum_j |P(j) cap Q(j)| / sum_j |P(j)|."""
+    labels = np.asarray(labels)
+    top = top_k_indices(scores, k)
+    row = np.arange(scores.shape[0])[:, None]
+    hits = labels[row, top].sum()
+    return float(hits) / float(scores.shape[0] * k)
+
+
+def recall_at_k(scores: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Eq. 22: sum_j |P(j) cap Q(j)| / sum_j |Q(j)|."""
+    labels = np.asarray(labels)
+    total = labels.sum()
+    if total == 0:
+        return 0.0
+    top = top_k_indices(scores, k)
+    row = np.arange(scores.shape[0])[:, None]
+    hits = labels[row, top].sum()
+    return float(hits) / float(total)
+
+
+def ndcg_at_k(scores: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Eq. 23-24 with binary relevance (2^rel - 1 = rel).
+
+    Patients with no positive labels are excluded from the average, as
+    their ideal DCG is undefined (zero).
+    """
+    labels = np.asarray(labels)
+    top = top_k_indices(scores, k)
+    row = np.arange(scores.shape[0])[:, None]
+    gains = labels[row, top].astype(np.float64)
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    dcg = (gains * discounts[None, :]).sum(axis=1)
+    label_counts = labels.sum(axis=1).astype(np.int64)
+    ideal_hits = np.minimum(label_counts, k)
+    # IDCG per patient: best case puts all positives first.
+    cumulative = np.concatenate([[0.0], np.cumsum(discounts)])
+    idcg = cumulative[ideal_hits]
+    valid = idcg > 0
+    if not valid.any():
+        return 0.0
+    return float((dcg[valid] / idcg[valid]).mean())
+
+
+@dataclass(frozen=True)
+class RankingReport:
+    """All three metrics at one cutoff."""
+
+    k: int
+    precision: float
+    recall: float
+    ndcg: float
+
+
+def ranking_report(
+    scores: np.ndarray, labels: np.ndarray, ks: Sequence[int]
+) -> List[RankingReport]:
+    """Evaluate every cutoff in ``ks`` (the paper uses k = 1..6 / {4, 6, 8})."""
+    return [
+        RankingReport(
+            k=k,
+            precision=precision_at_k(scores, labels, k),
+            recall=recall_at_k(scores, labels, k),
+            ndcg=ndcg_at_k(scores, labels, k),
+        )
+        for k in ks
+    ]

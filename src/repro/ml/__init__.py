@@ -1,0 +1,17 @@
+"""Classic machine-learning substrate: K-means, logistic regression, SVM.
+
+Replaces scikit-learn (unavailable offline) for the treatment clustering of
+the MD module and the traditional baselines (ECC over LR, one-vs-rest SVM).
+"""
+
+from .kmeans import KMeansResult, kmeans
+from .logistic import LogisticRegression
+from .svm import LinearSVM, MultiLabelSVM
+
+__all__ = [
+    "kmeans",
+    "KMeansResult",
+    "LogisticRegression",
+    "LinearSVM",
+    "MultiLabelSVM",
+]

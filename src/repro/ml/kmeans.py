@@ -1,0 +1,116 @@
+"""K-means clustering (Hartigan & Wong reference [20]; Lloyd's algorithm).
+
+The MD module clusters patients to define the treatment matrix: patients in
+the same cluster as a treated patient inherit treatment 1 (Sec. IV-B1).
+The paper sets the number of clusters to the number of chronic diseases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Fitted clustering.
+
+    Attributes:
+        centers: (k, d) cluster centroids.
+        labels: (n,) cluster index per sample.
+        inertia: total within-cluster squared distance.
+        iterations: Lloyd iterations until convergence.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest fitted centroid."""
+        points = np.asarray(points, dtype=np.float64)
+        distances = _pairwise_sq(points, self.centers)
+        return distances.argmin(axis=1)
+
+
+def _pairwise_sq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between row sets, numerically clipped."""
+    sq = (
+        (a * a).sum(axis=1)[:, None]
+        - 2.0 * (a @ b.T)
+        + (b * b).sum(axis=1)[None, :]
+    )
+    return np.maximum(sq, 0.0)
+
+
+def _kmeans_pp_init(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D^2 sampling."""
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = x[first]
+    closest = _pairwise_sq(x, centers[:1]).ravel()
+    for c in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All points identical to chosen centers; fill with random rows.
+            centers[c] = x[int(rng.integers(0, n))]
+            continue
+        probs = closest / total
+        choice = int(rng.choice(n, p=probs))
+        centers[c] = x[choice]
+        closest = np.minimum(closest, _pairwise_sq(x, centers[c : c + 1]).ravel())
+    return centers
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Args:
+        x: (n, d) data matrix.
+        k: number of clusters (1 <= k <= n).
+        seed: RNG seed for the initialization.
+        max_iter: iteration cap.
+        tol: stop when centroids move less than this (squared L2).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    n = x.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = np.random.default_rng(seed)
+    centers = _kmeans_pp_init(x, k, rng)
+
+    labels = np.zeros(n, dtype=np.int64)
+    for iteration in range(1, max_iter + 1):
+        distances = _pairwise_sq(x, centers)
+        labels = distances.argmin(axis=1)
+        new_centers = centers.copy()
+        for c in range(k):
+            members = x[labels == c]
+            if len(members):
+                new_centers[c] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the point furthest from its center.
+                worst = int(distances.min(axis=1).argmax())
+                new_centers[c] = x[worst]
+        shift = float(((new_centers - centers) ** 2).sum())
+        centers = new_centers
+        if shift < tol:
+            break
+    distances = _pairwise_sq(x, centers)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), labels].sum())
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, iterations=iteration)

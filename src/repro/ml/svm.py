@@ -1,0 +1,121 @@
+"""Linear support vector machine (references [27], [28]).
+
+Trained by sub-gradient descent on the L2-regularized hinge loss (Pegasos
+style with a fixed learning-rate schedule).  The SVM baseline of the paper
+ranks drugs for a patient by the decision value of 86 one-vs-rest binary
+SVMs — :class:`MultiLabelSVM` packages that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class LinearSVM:
+    """Binary linear SVM: minimize  lambda/2 ||w||^2 + mean hinge(y f(x)).
+
+    Labels are {0, 1} at the API boundary and mapped to {-1, +1} internally.
+    """
+
+    def __init__(
+        self,
+        reg: float = 1e-3,
+        epochs: int = 60,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if reg <= 0:
+            raise ValueError("reg must be positive")
+        self.reg = reg
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        x = np.asarray(x, dtype=np.float64)
+        y01 = np.asarray(y, dtype=np.float64).ravel()
+        if set(np.unique(y01)) - {0.0, 1.0}:
+            raise ValueError("labels must be binary {0, 1}")
+        y_pm = 2.0 * y01 - 1.0
+        n, d = x.shape
+        rng = np.random.default_rng(self.seed)
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+        step = 0
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                step += 1
+                idx = order[start : start + self.batch_size]
+                lr = 1.0 / (self.reg * step)
+                margin = y_pm[idx] * (x[idx] @ self.weights + self.bias)
+                active = margin < 1.0
+                grad_w = self.reg * self.weights
+                grad_b = 0.0
+                if active.any():
+                    xa = x[idx][active]
+                    ya = y_pm[idx][active]
+                    grad_w = grad_w - (ya[:, None] * xa).mean(axis=0)
+                    grad_b = -float(ya.mean())
+                self.weights -= lr * grad_w
+                self.bias -= lr * grad_b
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("call fit() before decision_function()")
+        return np.asarray(x, dtype=np.float64) @ self.weights + self.bias
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.decision_function(x) >= 0.0).astype(np.int64)
+
+
+class MultiLabelSVM:
+    """One-vs-rest linear SVMs, one per label column.
+
+    ``decision_matrix`` returns the (n, num_labels) decision values used as
+    ranking scores for medication suggestion.
+    """
+
+    def __init__(self, reg: float = 1e-3, epochs: int = 40, seed: int = 0) -> None:
+        self.reg = reg
+        self.epochs = epochs
+        self.seed = seed
+        self.models: List[Optional[LinearSVM]] = []
+        self._constant_scores: List[float] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MultiLabelSVM":
+        y = np.asarray(y)
+        if y.ndim != 2:
+            raise ValueError("y must be (n, num_labels)")
+        self.models = []
+        self._constant_scores = []
+        for label in range(y.shape[1]):
+            column = y[:, label]
+            if column.min() == column.max():
+                # Constant label: no separating problem to solve.
+                self.models.append(None)
+                self._constant_scores.append(float(column[0]))
+                continue
+            model = LinearSVM(
+                reg=self.reg, epochs=self.epochs, seed=self.seed + label
+            ).fit(x, column)
+            self.models.append(model)
+            self._constant_scores.append(0.0)
+        return self
+
+    def decision_matrix(self, x: np.ndarray) -> np.ndarray:
+        if not self.models:
+            raise RuntimeError("call fit() before decision_matrix()")
+        n = np.asarray(x).shape[0]
+        out = np.zeros((n, len(self.models)))
+        for label, model in enumerate(self.models):
+            if model is None:
+                out[:, label] = self._constant_scores[label] * 2.0 - 1.0
+            else:
+                out[:, label] = model.decision_function(x)
+        return out

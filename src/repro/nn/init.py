@@ -1,0 +1,54 @@
+"""Parameter initialization schemes for the nn substrate.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+model in the reproduction is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...], gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform init: U(-a, a), a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def xavier_normal(rng: np.random.Generator, shape: Tuple[int, ...], gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier normal init: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def kaiming_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> Tensor:
+    """He/Kaiming uniform init for ReLU networks."""
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def zeros_init(shape: Tuple[int, ...]) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def normal_init(rng: np.random.Generator, shape: Tuple[int, ...], std: float = 0.01) -> Tensor:
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    # For 2-D weight matrices stored (in_features, out_features) we follow the
+    # convention used throughout this codebase: rows are inputs.
+    if len(shape) == 2:
+        fan_in, fan_out = shape[0], shape[1]
+    return fan_in, fan_out

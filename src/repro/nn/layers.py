@@ -1,0 +1,296 @@
+"""Neural-network layers on top of the autograd substrate.
+
+The layer set mirrors what the DSSDDI paper's models need: fully connected
+layers with LeakyReLU (MDGCN encoder, Eq. 9-10), multi-layer perceptrons
+(GIN update functions f_Theta, the MDGCN decoder f_Theta2), batch
+normalization (applied after each DDIGCN layer per Sec. V-A3), dropout and
+embeddings (one-hot drug IDs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import init as initializers
+from .tensor import Tensor
+
+
+class Module:
+    """Base class with parameter registration and train/eval switching."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Tensor] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration --------------------------------------------------
+    def register_parameter(self, name: str, param: Tensor) -> Tensor:
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Module):
+            if not hasattr(self, "_modules"):
+                raise RuntimeError("call Module.__init__ before assigning submodules")
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal -----------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        params = list(self._parameters.values())
+        for module in self._modules.values():
+            params.extend(module.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
+                )
+            param.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with weights stored (in_features, out_features)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", initializers.xavier_uniform(rng, (in_features, out_features))
+        )
+        self.bias: Optional[Tensor] = None
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", initializers.zeros_init((out_features,))
+            )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+_ACTIVATIONS: Dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": lambda t: t.relu(),
+    "leaky_relu": lambda t: t.leaky_relu(),
+    "tanh": lambda t: t.tanh(),
+    "sigmoid": lambda t: t.sigmoid(),
+    "identity": lambda t: t,
+}
+
+
+def get_activation(name: str) -> Callable[[Tensor], Tensor]:
+    """Look up an activation function by name."""
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None
+
+
+class MLP(Module):
+    """Multi-layer perceptron used as the GIN update function and decoders.
+
+    Hidden layers use the requested activation; the output layer is linear
+    unless ``final_activation`` is given.  Optional batch normalization after
+    every hidden layer matches the paper's DDIGCN training setup.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+        final_activation: str = "identity",
+        batch_norm: bool = False,
+    ) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.layers: List[Linear] = []
+        self.norms: List[Optional["BatchNorm1d"]] = []
+        for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layer = Linear(n_in, n_out, rng)
+            self.register_module(f"layer{i}", layer)
+            self.layers.append(layer)
+            is_hidden = i < len(sizes) - 2
+            if batch_norm and is_hidden:
+                norm = BatchNorm1d(n_out)
+                self.register_module(f"norm{i}", norm)
+                self.norms.append(norm)
+            else:
+                self.norms.append(None)
+        self.activation = get_activation(activation)
+        self.final_activation = get_activation(final_activation)
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < last:
+                if self.norms[i] is not None:
+                    x = self.norms[i](x)
+                x = self.activation(x)
+            else:
+                x = self.final_activation(x)
+        return x
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the feature dimension of an (N, F) tensor."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = self.register_parameter(
+            "gamma", Tensor(np.ones(num_features), requires_grad=True)
+        )
+        self.beta = self.register_parameter(
+            "beta", Tensor(np.zeros(num_features), requires_grad=True)
+        )
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=0)
+            var = x.data.var(axis=0)
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * var
+            )
+            centered = x - Tensor(mean)
+            scale = Tensor(1.0 / np.sqrt(var + self.eps))
+        else:
+            centered = x - Tensor(self.running_mean)
+            scale = Tensor(1.0 / np.sqrt(self.running_var + self.eps))
+        return centered * scale * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity when the module is in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense rows."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = self.register_parameter(
+            "weight", initializers.xavier_uniform(rng, (num_embeddings, dim))
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return self.weight[ids]
+
+
+class Sequential(Module):
+    """Run modules in order; each must map Tensor -> Tensor."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.items: List[Module] = []
+        for i, module in enumerate(modules):
+            self.register_module(f"m{i}", module)
+            self.items.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.items:
+            x = module(x)
+        return x
+
+
+class ParameterList(Module):
+    """Container for a variable number of raw parameters."""
+
+    def __init__(self, tensors: Iterable[Tensor]) -> None:
+        super().__init__()
+        self.items: List[Tensor] = []
+        for i, tensor in enumerate(tensors):
+            self.register_parameter(f"p{i}", tensor)
+            self.items.append(tensor)
+
+    def __iter__(self) -> Iterator[Tensor]:
+        return iter(self.items)
+
+    def __getitem__(self, idx: int) -> Tensor:
+        return self.items[idx]
+
+    def __len__(self) -> int:
+        return len(self.items)

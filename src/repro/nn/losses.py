@@ -1,0 +1,76 @@
+"""Loss functions used across the reproduction.
+
+* :func:`mse_loss` — DDIGCN edge regression (Eq. 6).
+* :func:`bce_loss` / :func:`bce_with_logits` — MDGCN factual and
+  counterfactual link objectives (Eq. 16-17) and the baseline recommenders.
+* :func:`margin_ranking_loss` — TransE training for the synthetic DRKG
+  embeddings.
+* :func:`multinomial_nll` — SafeDrug-style multi-label objective.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+_EPS = 1e-12
+
+
+def mse_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error over every element."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target_t
+    return (diff * diff).mean()
+
+
+def bce_loss(prob: Tensor, target: Tensor | np.ndarray, weight: Optional[np.ndarray] = None) -> Tensor:
+    """Binary cross entropy on probabilities in (0, 1).
+
+    Probabilities are clipped away from {0, 1} for numerical stability; the
+    clip keeps gradients finite exactly as PyTorch's BCELoss does.
+    """
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    clipped = prob.clip(_EPS, 1.0 - _EPS)
+    loss = -(target_t * clipped.log() + (1.0 - target_t) * (1.0 - clipped).log())
+    if weight is not None:
+        loss = loss * Tensor(weight)
+    return loss.mean()
+
+
+def bce_with_logits(logits: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Numerically stable BCE on raw logits.
+
+    Uses the identity ``softplus(x) - x * y``, whose gradient is exactly
+    ``sigmoid(x) - y`` everywhere (no relu/abs kinks at x = 0).
+    """
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    loss = logits.softplus() - logits * target_t
+    return loss.mean()
+
+
+def margin_ranking_loss(positive: Tensor, negative: Tensor, margin: float = 1.0) -> Tensor:
+    """Hinge on score differences: ``mean(max(0, margin + pos - neg))``.
+
+    With TransE distance scores (lower is better for true triples), the
+    positive distance should be at least ``margin`` below the negative one.
+    """
+    return (positive - negative + margin).relu().mean()
+
+
+def multinomial_nll(prob: Tensor, target: np.ndarray) -> Tensor:
+    """Multi-label negative log likelihood on sigmoid probabilities."""
+    return bce_loss(prob, Tensor(np.asarray(target, dtype=np.float64)))
+
+
+def l2_regularizer(params, coefficient: float) -> Tensor:
+    """Sum of squared parameter entries scaled by ``coefficient``."""
+    total: Optional[Tensor] = None
+    for param in params:
+        term = (param * param).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * coefficient

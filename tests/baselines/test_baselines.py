@@ -1,0 +1,220 @@
+"""Tests for all eight baseline recommenders."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BiparGCN,
+    CauseRec,
+    ECC,
+    GCMCRecommender,
+    LightGCNRecommender,
+    SafeDrug,
+    SVMRecommender,
+    UserSim,
+    available_baselines,
+)
+from repro.data import generate_chronic_cohort, generate_mimic, standardize_features
+from repro.metrics import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def cohort_data():
+    cohort = generate_chronic_cohort(num_patients=200, seed=11)
+    x = standardize_features(cohort.features)
+    y = cohort.medications
+    return x[:140], y[:140], x[140:], y[140:], cohort
+
+
+def quick_instances(cohort):
+    return [
+        UserSim(),
+        ECC(num_chains=2, max_iter=40),
+        SVMRecommender(epochs=10),
+        GCMCRecommender(hidden_dim=16, epochs=40),
+        LightGCNRecommender(hidden_dim=16, epochs=40),
+        BiparGCN(hidden_dim=16, epochs=40),
+        SafeDrug(hidden_dim=16, epochs=40, ddi_graph=cohort.ddi.graph),
+        CauseRec(hidden_dim=16, epochs=40),
+    ]
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        names = set(available_baselines())
+        assert names == {
+            "UserSim",
+            "ECC",
+            "SVM",
+            "GCMC",
+            "LightGCN",
+            "Bipar-GCN",
+            "SafeDrug",
+            "CauseRec",
+        }
+
+
+class TestSharedContract:
+    def test_scores_shape_and_finite(self, cohort_data):
+        x_train, y_train, x_test, _y_test, cohort = cohort_data
+        for model in quick_instances(cohort):
+            model.fit(x_train, y_train)
+            scores = model.predict_scores(x_test)
+            assert scores.shape == (x_test.shape[0], y_train.shape[1]), model.name
+            assert np.isfinite(scores).all(), model.name
+
+    def test_requires_fit(self, cohort_data):
+        *_rest, cohort = cohort_data
+        for model in quick_instances(cohort):
+            with pytest.raises(RuntimeError):
+                model.predict_scores(np.zeros((1, 71)))
+
+    def test_shape_validation(self, cohort_data):
+        *_rest, cohort = cohort_data
+        for model in quick_instances(cohort):
+            with pytest.raises(ValueError):
+                model.fit(np.zeros((5, 3)), np.zeros((6, 4)))
+
+    def test_graph_models_beat_random(self, cohort_data):
+        """The graph-based methods must clearly beat random ranking."""
+        x_train, y_train, x_test, y_test, cohort = cohort_data
+        rng = np.random.default_rng(0)
+        random_recall = recall_at_k(rng.random((len(x_test), 86)), y_test, 5)
+        for model in [
+            LightGCNRecommender(hidden_dim=16, epochs=120),
+            BiparGCN(hidden_dim=16, epochs=120),
+        ]:
+            model.fit(x_train, y_train)
+            model_recall = recall_at_k(model.predict_scores(x_test), y_test, 5)
+            assert model_recall > 1.5 * random_recall, model.name
+
+
+class TestUserSim:
+    def test_identical_patient_recovers_profile(self):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        y = np.array([[1, 0, 0], [0, 0, 1]])
+        model = UserSim().fit(x, y)
+        scores = model.predict_scores(np.array([[1.0, 0.0]]))
+        assert scores[0].argmax() == 0
+
+    def test_eq20_formula(self):
+        rng = np.random.default_rng(0)
+        x_obs = rng.normal(size=(5, 4))
+        y_obs = rng.integers(0, 2, size=(5, 3)).astype(float)
+        x_new = rng.normal(size=(2, 4))
+        model = UserSim().fit(x_obs, y_obs)
+        scores = model.predict_scores(x_new)
+        x_new_n = x_new / np.linalg.norm(x_new, axis=1, keepdims=True)
+        x_obs_n = x_obs / np.linalg.norm(x_obs, axis=1, keepdims=True)
+        expected = (x_new_n @ x_obs_n.T) @ y_obs
+        assert np.allclose(scores, expected)
+
+
+class TestECC:
+    def test_chain_feeds_predictions_forward(self):
+        """Label 1 = copy of label 0: the chain must learn the dependency."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 5))
+        label0 = (x[:, 0] > 0).astype(float)
+        y = np.stack([label0, label0], axis=1)
+        model = ECC(num_chains=2, max_iter=150).fit(x, y)
+        scores = model.predict_scores(x)
+        assert ((scores[:, 1] > 0.5) == label0).mean() > 0.9
+
+    def test_constant_labels_handled(self):
+        x = np.random.default_rng(2).normal(size=(20, 3))
+        y = np.zeros((20, 2))
+        model = ECC(num_chains=1).fit(x, y)
+        scores = model.predict_scores(x)
+        assert np.allclose(scores, 0.0)
+
+    def test_num_chains_validation(self):
+        with pytest.raises(ValueError):
+            ECC(num_chains=0)
+
+
+class TestSafeDrug:
+    def test_ddi_penalty_reduces_antagonistic_pairs(self, cohort_data):
+        x_train, y_train, x_test, _y_test, cohort = cohort_data
+        graph = cohort.ddi.graph
+        mask = np.zeros((86, 86))
+        for u, v, s in graph.edges_with_signs():
+            if s == -1:
+                mask[u, v] = mask[v, u] = 1.0
+
+        def ddi_rate(scores, k=5):
+            from repro.metrics import top_k_indices
+
+            top = top_k_indices(scores, k)
+            count = 0
+            for row in top:
+                for a in range(k):
+                    for b in range(a + 1, k):
+                        count += mask[row[a], row[b]]
+            return count
+
+        gentle = SafeDrug(hidden_dim=16, epochs=80, ddi_penalty=0.0, ddi_graph=graph)
+        strict = SafeDrug(hidden_dim=16, epochs=80, ddi_penalty=5.0, ddi_graph=graph)
+        gentle.fit(x_train, y_train)
+        strict.fit(x_train, y_train)
+        assert ddi_rate(strict.predict_scores(x_test)) <= ddi_rate(
+            gentle.predict_scores(x_test)
+        )
+
+    def test_multivisit_mode(self):
+        data = generate_mimic(num_patients=80, seed=5)
+        from repro.data import visit_step_features
+
+        steps = visit_step_features(data, max_visits=3)
+        model = SafeDrug(hidden_dim=16, epochs=30)
+        model.fit(data.features, data.labels, visit_steps=steps)
+        scores = model.predict_scores(data.features, visit_steps=steps)
+        assert scores.shape == data.labels.shape
+
+
+class TestCauseRec:
+    def test_contrastive_losses_logged(self, cohort_data):
+        x_train, y_train, *_ = cohort_data
+        model = CauseRec(hidden_dim=16, epochs=10)
+        model.fit(x_train[:60], y_train[:60])
+        assert len(model._losses) == 10
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CauseRec(num_blocks=1)
+        with pytest.raises(ValueError):
+            CauseRec(mask_fraction=0.0)
+
+    def test_masking_changes_representation(self, cohort_data):
+        x_train, y_train, *_ = cohort_data
+        model = CauseRec(hidden_dim=16, epochs=5)
+        model.fit(x_train[:40], y_train[:40])
+        from repro.nn import Tensor
+
+        x_t = Tensor(x_train[:10])
+        full = model._encode(x_t).numpy()
+        masked = model._encode_masked(
+            x_t, np.zeros((10, 2), dtype=int)
+        ).numpy()
+        assert not np.allclose(full, masked)
+
+
+class TestLightGCNAnalysis:
+    def test_oversmoothing_mechanism(self, cohort_data):
+        """Fig. 7's cause: graph convolution makes patient representations
+        far more mutually similar than the raw (pre-propagation) ones —
+        which is exactly why DSSDDI decodes with the pre-propagation h_i."""
+        from repro.gnn import LightGCNPropagation
+        from repro.metrics import cosine_similarity_matrix, offdiagonal_mean
+        from repro.nn import Tensor
+
+        x_train, y_train, _x_test, _y_test, _cohort = cohort_data
+        model = LightGCNRecommender(hidden_dim=16, epochs=60)
+        model.fit(x_train, y_train)
+        raw = model._patient_fc(Tensor(x_train))
+        drugs = model._drug_fc(Tensor(np.eye(y_train.shape[1])))
+        one_hop = LightGCNPropagation(2, [0.0, 1.0, 0.0])
+        smoothed, _ = one_hop(raw, drugs, model._p2d, model._d2p)
+        raw_sim = offdiagonal_mean(cosine_similarity_matrix(raw.numpy()))
+        smooth_sim = offdiagonal_mean(cosine_similarity_matrix(smoothed.numpy()))
+        assert smooth_sim > raw_sim + 0.2

@@ -1,0 +1,212 @@
+"""Tests for treatment construction and counterfactual links."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.causal import (
+    build_counterfactual_links,
+    build_treatment,
+    pairwise_distances,
+    suggest_gammas,
+)
+from repro.graph import SignedGraph
+
+
+def tiny_setup():
+    """4 patients x 4 drugs; synergy 0-1, antagonism 2-3."""
+    features = np.array(
+        [[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]]
+    )
+    y = np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ]
+    )
+    graph = SignedGraph.from_signed_edges(4, [(0, 1, 1), (2, 3, -1)])
+    return features, y, graph
+
+
+class TestTreatment:
+    def test_stage1_is_observed_links(self):
+        features, y, graph = tiny_setup()
+        result = build_treatment(features, y, graph, num_clusters=2, seed=0)
+        assert np.array_equal(result.stage1, y)
+
+    def test_stage2_cluster_propagation(self):
+        features, y, graph = tiny_setup()
+        result = build_treatment(features, y, graph, num_clusters=2, seed=0)
+        # patients 0/1 cluster together, 2/3 together (well separated blobs)
+        assert result.clusters[0] == result.clusters[1]
+        assert result.clusters[2] == result.clusters[3]
+        assert result.clusters[0] != result.clusters[2]
+        # patient 0 inherits drug 2 from patient 1
+        assert result.stage2[0, 2] == 1
+        assert result.stage2[1, 0] == 1
+        # no leakage across clusters
+        assert result.stage2[0, 1] == 0
+
+    def test_stage3_synergy_propagation(self):
+        features, y, graph = tiny_setup()
+        result = build_treatment(features, y, graph, num_clusters=2, seed=0)
+        # patient 0 treats drug 0; synergy (0,1) adds drug 1
+        assert result.matrix[0, 1] == 1
+        # antagonism must NOT propagate: patient 2 has drug 1 (cluster) but
+        # drug 1 has no synergy to drug 2 or 3
+        assert result.matrix[2, 3] == 0 or result.stage2[2, 3] == 1
+
+    def test_monotone_stages(self):
+        features, y, graph = tiny_setup()
+        result = build_treatment(features, y, graph, num_clusters=2, seed=0)
+        assert np.all(result.stage1 <= result.stage2)
+        assert np.all(result.stage2 <= result.matrix)
+
+    def test_precomputed_clusters(self):
+        features, y, graph = tiny_setup()
+        clusters = np.array([0, 0, 1, 1])
+        result = build_treatment(
+            features, y, graph, num_clusters=2, clusters=clusters
+        )
+        assert np.array_equal(result.clusters, clusters)
+
+    def test_validation(self):
+        features, y, graph = tiny_setup()
+        with pytest.raises(ValueError):
+            build_treatment(features[:2], y, graph, 2)
+        with pytest.raises(ValueError):
+            build_treatment(features, y[:, :2], graph, 2)
+        with pytest.raises(ValueError):
+            build_treatment(features, y, graph, 2, clusters=np.zeros(7, dtype=int))
+
+    def test_more_clusters_than_patients_clamped(self):
+        features, y, graph = tiny_setup()
+        result = build_treatment(features, y, graph, num_clusters=40, seed=0)
+        assert result.matrix.shape == y.shape
+
+
+class TestPairwiseDistances:
+    def test_self_distances_zero_diagonal(self):
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        dist = pairwise_distances(x)
+        assert np.allclose(np.diag(dist), 0.0)
+        assert np.allclose(dist, dist.T)
+
+    def test_matches_manual(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        dist = pairwise_distances(a)
+        assert dist[0, 1] == pytest.approx(5.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 8), st.integers(1, 5))
+    def test_triangle_inequality(self, n, d):
+        rng = np.random.default_rng(n * 10 + d)
+        x = rng.normal(size=(n, d))
+        dist = pairwise_distances(x)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert dist[i, j] <= dist[i, k] + dist[k, j] + 1e-9
+
+
+class TestCounterfactualLinks:
+    def test_matched_pairs_flip_treatment(self):
+        rng = np.random.default_rng(0)
+        px = rng.normal(size=(10, 3))
+        dx = rng.normal(size=(5, 2))
+        treatment = rng.integers(0, 2, size=(10, 5))
+        outcomes = rng.integers(0, 2, size=(10, 5))
+        links = build_counterfactual_links(px, dx, treatment, outcomes, 10.0, 10.0)
+        flipped = links.treatment_cf[links.matched]
+        original = treatment[links.matched]
+        assert np.array_equal(flipped, 1 - original)
+
+    def test_unmatched_pairs_keep_factual(self):
+        px = np.array([[0.0], [100.0]])
+        dx = np.array([[0.0], [100.0]])
+        treatment = np.array([[1, 1], [1, 1]])  # no opposite treatment exists
+        outcomes = np.array([[1, 0], [0, 1]])
+        links = build_counterfactual_links(px, dx, treatment, outcomes, 1.0, 1.0)
+        assert not links.matched.any()
+        assert np.array_equal(links.treatment_cf, treatment)
+        assert np.array_equal(links.outcome_cf, outcomes)
+
+    def test_neighbor_outcome_copied(self):
+        # patient 0 ~ patient 1 (close), drug 0 ~ drug 1 (close)
+        px = np.array([[0.0], [0.1]])
+        dx = np.array([[0.0], [0.05]])
+        treatment = np.array([[1, 1], [0, 0]])
+        outcomes = np.array([[1, 1], [0, 0]])
+        links = build_counterfactual_links(px, dx, treatment, outcomes, 1.0, 1.0)
+        # pair (0, 0) has T=1; nearest opposite-treatment pair is patient 1
+        assert links.matched[0, 0]
+        assert links.neighbor_patient[0, 0] == 1
+        assert links.outcome_cf[0, 0] == 0
+
+    def test_nearest_neighbor_is_chosen(self):
+        # Two donors with opposite treatment; the closer one must win.
+        px = np.array([[0.0], [0.2], [0.9]])
+        dx = np.array([[0.0]])
+        treatment = np.array([[1], [0], [0]])
+        outcomes = np.array([[1], [0], [1]])
+        links = build_counterfactual_links(px, dx, treatment, outcomes, 5.0, 5.0)
+        assert links.neighbor_patient[0, 0] == 1  # distance 0.2 < 0.9
+        assert links.outcome_cf[0, 0] == 0
+
+    def test_thresholds_exclude_far_donors(self):
+        px = np.array([[0.0], [3.0]])
+        dx = np.array([[0.0]])
+        treatment = np.array([[1], [0]])
+        outcomes = np.array([[1], [0]])
+        links = build_counterfactual_links(px, dx, treatment, outcomes, 1.0, 1.0)
+        assert not links.matched[0, 0]
+
+    def test_match_rate_bounds(self):
+        rng = np.random.default_rng(1)
+        px = rng.normal(size=(12, 2))
+        dx = rng.normal(size=(6, 2))
+        treatment = rng.integers(0, 2, size=(12, 6))
+        outcomes = rng.integers(0, 2, size=(12, 6))
+        links = build_counterfactual_links(px, dx, treatment, outcomes, 100.0, 100.0)
+        assert 0.0 <= links.match_rate <= 1.0
+        # with huge thresholds and mixed treatments everything matches
+        assert links.match_rate == 1.0
+
+    def test_validation(self):
+        px = np.zeros((2, 1))
+        dx = np.zeros((2, 1))
+        t = np.zeros((2, 2), dtype=int)
+        y = np.zeros((2, 2), dtype=int)
+        with pytest.raises(ValueError):
+            build_counterfactual_links(px, dx, t, y[:1], 1.0, 1.0)
+        with pytest.raises(ValueError):
+            build_counterfactual_links(px[:1], dx, t, y, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            build_counterfactual_links(px, dx[:1], t, y, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            build_counterfactual_links(px, dx, t, y, 0.0, 1.0)
+
+    def test_outcome_cf_only_changes_on_match(self):
+        rng = np.random.default_rng(2)
+        px = rng.normal(size=(8, 2))
+        dx = rng.normal(size=(4, 2))
+        treatment = rng.integers(0, 2, size=(8, 4))
+        outcomes = rng.integers(0, 2, size=(8, 4))
+        links = build_counterfactual_links(px, dx, treatment, outcomes, 0.5, 0.5)
+        unmatched = ~links.matched
+        assert np.array_equal(links.outcome_cf[unmatched], outcomes[unmatched])
+
+    def test_suggest_gammas_monotone_in_quantile(self):
+        rng = np.random.default_rng(3)
+        px = rng.normal(size=(20, 3))
+        dx = rng.normal(size=(10, 3))
+        g1 = suggest_gammas(px, dx, quantile=0.1)
+        g2 = suggest_gammas(px, dx, quantile=0.5)
+        assert g1[0] < g2[0] and g1[1] < g2[1]
+
+    def test_suggest_gammas_validation(self):
+        with pytest.raises(ValueError):
+            suggest_gammas(np.zeros((3, 1)), np.zeros((3, 1)), quantile=1.5)

@@ -1,0 +1,118 @@
+"""Tests for the DDI-aware greedy re-ranker (extension module)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RerankConfig, antagonism_count, rerank_topk
+from repro.data import generate_ddi
+from repro.graph import SignedGraph
+from repro.metrics import recall_at_k, top_k_indices
+
+
+def small_graph():
+    # 0-1 antagonistic, 0-2 synergistic
+    return SignedGraph.from_signed_edges(4, [(0, 1, -1), (0, 2, 1)])
+
+
+class TestRerank:
+    def test_no_ddi_pressure_matches_topk(self):
+        graph = SignedGraph(4)  # no edges at all
+        scores = np.array([[0.9, 0.7, 0.5, 0.1]])
+        picked = rerank_topk(scores, graph, 3)
+        assert picked.tolist() == top_k_indices(scores, 3).tolist()
+
+    def test_synergy_bonus_promotes_partner(self):
+        graph = small_graph()
+        # drug 2 slightly below drug 3; synergy with selected drug 0 flips it
+        scores = np.array([[0.9, 0.0, 0.50, 0.52]])
+        config = RerankConfig(synergy_bonus=0.1, antagonism_penalty=0.0)
+        picked = rerank_topk(scores, graph, 2, config).tolist()[0]
+        assert picked == [0, 2]
+
+    def test_antagonism_penalty_demotes_conflict(self):
+        graph = small_graph()
+        # drug 1 would be second by score but antagonizes drug 0
+        scores = np.array([[0.9, 0.6, 0.55, 0.1]])
+        config = RerankConfig(synergy_bonus=0.0, antagonism_penalty=0.2)
+        picked = rerank_topk(scores, graph, 2, config).tolist()[0]
+        assert picked == [0, 2]
+
+    def test_weak_penalty_keeps_dominant_conflict(self):
+        graph = small_graph()
+        scores = np.array([[0.9, 0.8, 0.2, 0.1]])
+        config = RerankConfig(synergy_bonus=0.0, antagonism_penalty=0.05)
+        picked = rerank_topk(scores, graph, 2, config).tolist()[0]
+        assert picked == [0, 1]  # score dominance survives a soft penalty
+
+    def test_hard_exclude_skips_conflicts(self):
+        graph = small_graph()
+        scores = np.array([[0.9, 0.89, 0.2, 0.1]])
+        config = RerankConfig(antagonism_penalty=0.0, hard_exclude=True)
+        picked = rerank_topk(scores, graph, 2, config).tolist()[0]
+        assert 1 not in picked
+
+    def test_hard_exclude_falls_back_when_no_clean_candidate(self):
+        graph = SignedGraph.from_signed_edges(2, [(0, 1, -1)])
+        scores = np.array([[0.9, 0.8]])
+        config = RerankConfig(hard_exclude=True)
+        picked = rerank_topk(scores, graph, 2, config).tolist()[0]
+        assert sorted(picked) == [0, 1]  # both must be picked, k = n
+
+    def test_validation(self):
+        graph = small_graph()
+        scores = np.zeros((1, 4))
+        with pytest.raises(ValueError):
+            rerank_topk(scores, graph, 0)
+        with pytest.raises(ValueError):
+            rerank_topk(scores, graph, 5)
+        with pytest.raises(ValueError):
+            rerank_topk(np.zeros(4), graph, 2)
+        with pytest.raises(ValueError):
+            rerank_topk(scores, SignedGraph(9), 2)
+        with pytest.raises(ValueError):
+            RerankConfig(synergy_bonus=-1.0).validate()
+
+    def test_antagonism_count(self):
+        graph = small_graph()
+        assert antagonism_count([0, 1], graph) == 1
+        assert antagonism_count([0, 2], graph) == 0
+        assert antagonism_count([0, 1, 2], graph) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 6), st.integers(0, 1000))
+    def test_selection_is_unique_and_sized(self, k, seed):
+        rng = np.random.default_rng(seed)
+        data = generate_ddi(seed=3, num_synergy=8, num_antagonism=12, num_drugs=12)
+        scores = rng.random((3, 12))
+        picked = rerank_topk(scores, data.graph, k)
+        assert picked.shape == (3, k)
+        for row in picked:
+            assert len(set(row.tolist())) == k
+
+    def test_reduces_antagonism_on_real_graph(self):
+        """Across random scores, hard-exclude reranking never increases and
+        usually reduces the antagonistic pairs inside the suggestion."""
+        data = generate_ddi(seed=7)
+        rng = np.random.default_rng(0)
+        scores = rng.random((40, 86))
+        plain = top_k_indices(scores, 5)
+        hard = rerank_topk(
+            scores, data.graph, 5, RerankConfig(hard_exclude=True, antagonism_penalty=1.0)
+        )
+        plain_conflicts = sum(antagonism_count(row, data.graph) for row in plain)
+        hard_conflicts = sum(antagonism_count(row, data.graph) for row in hard)
+        assert hard_conflicts < plain_conflicts
+
+    def test_small_penalty_preserves_recall(self):
+        """Conservative reranking barely moves the ranking metrics."""
+        data = generate_ddi(seed=7)
+        rng = np.random.default_rng(1)
+        scores = rng.random((30, 86))
+        labels = (rng.random((30, 86)) > 0.9).astype(int)
+        base = recall_at_k(scores, labels, 5)
+        picked = rerank_topk(scores, data.graph, 5, RerankConfig(0.001, 0.001))
+        hits = sum(labels[i, d] for i in range(30) for d in picked[i])
+        reranked = hits / max(labels.sum(), 1)
+        assert abs(reranked - base) < 0.1

@@ -1,0 +1,117 @@
+"""Integration tests for the assembled DSSDDI system."""
+
+import numpy as np
+import pytest
+
+from repro.core import DSSDDI, DSSDDIConfig
+from repro.data import generate_chronic_cohort, split_patients, standardize_features
+from repro.metrics import ranking_report, recall_at_k
+
+
+@pytest.fixture(scope="module")
+def fitted_system():
+    cohort = generate_chronic_cohort(num_patients=250, seed=11)
+    x = standardize_features(cohort.features)
+    split = split_patients(250, seed=1)
+    cfg = DSSDDIConfig.fast()
+    cfg.ddi.epochs = 40
+    cfg.md.epochs = 80
+    system = DSSDDI(cfg)
+    report = system.fit(x[split.train], cohort.medications[split.train], cohort.ddi)
+    return system, report, cohort, x, split
+
+
+class TestDSSDDISystem:
+    def test_fit_returns_logs(self, fitted_system):
+        _system, report, *_ = fitted_system
+        assert report.ddi_log is not None
+        assert report.md_log.final_loss < report.md_log.factual_losses[0]
+
+    def test_predict_scores_shape(self, fitted_system):
+        system, _report, cohort, x, split = fitted_system
+        scores = system.predict_scores(x[split.test])
+        assert scores.shape == (len(split.test), cohort.num_drugs)
+
+    def test_better_than_random(self, fitted_system):
+        system, _report, cohort, x, split = fitted_system
+        scores = system.predict_scores(x[split.test])
+        labels = cohort.medications[split.test]
+        rng = np.random.default_rng(0)
+        assert recall_at_k(scores, labels, 5) > 2 * recall_at_k(
+            rng.random(scores.shape), labels, 5
+        )
+
+    def test_suggest_returns_k_unique_drugs(self, fitted_system):
+        system, _report, _cohort, x, split = fitted_system
+        suggestions = system.suggest(x[split.test][:5], k=4)
+        assert len(suggestions) == 5
+        for row in suggestions:
+            assert len(row) == 4
+            assert len(set(row)) == 4
+
+    def test_explanations_cover_suggestions(self, fitted_system):
+        system, _report, _cohort, x, split = fitted_system
+        explanations = system.suggest_and_explain(x[split.test][:2], k=3)
+        assert len(explanations) == 2
+        for explanation in explanations:
+            assert len(explanation.suggested) == 3
+            assert set(explanation.suggested) <= set(explanation.community)
+            assert explanation.render()
+
+    def test_drug_names_resolved_in_explanations(self, fitted_system):
+        system, _report, cohort, x, split = fitted_system
+        explanation = system.suggest_and_explain(x[split.test][:1], k=2)[0]
+        text = explanation.render()
+        assert "drug " not in text  # every id has a catalog name
+
+    def test_representations_accessible(self, fitted_system):
+        system, _report, cohort, x, split = fitted_system
+        p_reps = system.patient_representations(x[split.test])
+        d_reps = system.drug_representations()
+        assert p_reps.shape[0] == len(split.test)
+        assert d_reps.shape[0] == cohort.num_drugs
+
+    def test_requires_fit(self):
+        system = DSSDDI(DSSDDIConfig.fast())
+        with pytest.raises(RuntimeError):
+            system.predict_scores(np.zeros((1, 71)))
+        with pytest.raises(RuntimeError):
+            system.explain([0, 1])
+
+    def test_ranking_report_integration(self, fitted_system):
+        system, _report, cohort, x, split = fitted_system
+        scores = system.predict_scores(x[split.test])
+        reports = ranking_report(scores, cohort.medications[split.test], range(1, 7))
+        assert len(reports) == 6
+        # recall grows with k
+        recalls = [r.recall for r in reports]
+        assert recalls == sorted(recalls)
+
+
+class TestAblationModes:
+    @pytest.mark.parametrize("mode", ["onehot", "kg", "none"])
+    def test_modes_run(self, mode):
+        cohort = generate_chronic_cohort(num_patients=120, seed=5)
+        x = standardize_features(cohort.features)
+        cfg = DSSDDIConfig.fast()
+        cfg.ddi.epochs = 10
+        cfg.md.epochs = 30
+        cfg.md.drug_embedding_mode = mode
+        system = DSSDDI(cfg)
+        report = system.fit(x[:80], cohort.medications[:80], cohort.ddi, kg_epochs=2)
+        assert report.md_log.final_loss > 0
+        scores = system.predict_scores(x[80:])
+        assert scores.shape == (40, cohort.num_drugs)
+        # DDIGCN is only trained in "ddigcn" mode
+        assert report.ddi_log is None
+
+    def test_custom_drug_features(self):
+        cohort = generate_chronic_cohort(num_patients=100, seed=6)
+        x = standardize_features(cohort.features)
+        cfg = DSSDDIConfig.fast()
+        cfg.ddi.epochs = 10
+        cfg.md.epochs = 20
+        custom = np.random.default_rng(0).normal(size=(cohort.num_drugs, 12))
+        system = DSSDDI(cfg, drug_feature_matrix=custom)
+        system.fit(x[:70], cohort.medications[:70], cohort.ddi)
+        assert system.predict_scores(x[70:]).shape == (30, cohort.num_drugs)

@@ -1,0 +1,147 @@
+"""Tests for the drug catalog and the DDI generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DISEASE_PREVALENCE,
+    NUM_DRUGS,
+    PINNED_ANTAGONISM,
+    PINNED_SYNERGY,
+    add_no_interaction_edges,
+    all_diseases,
+    antagonism_only,
+    build_catalog,
+    drug_names,
+    drugs_by_disease,
+    generate_ddi,
+)
+from repro.graph import edge_key
+
+
+class TestCatalog:
+    def test_exactly_86_drugs(self):
+        assert len(build_catalog()) == NUM_DRUGS == 86
+
+    def test_unique_names_and_dids(self):
+        catalog = build_catalog()
+        assert len({d.name for d in catalog}) == 86
+        assert [d.did for d in catalog] == list(range(86))
+
+    def test_paper_pins(self):
+        names = drug_names(build_catalog())
+        assert names[1] == "Doxazosin"
+        assert names[3] == "Enalapril"
+        assert names[5] == "Perindopril"
+        assert names[8] == "Amlodipine"
+        assert names[10] == "Indapamide"
+        assert names[32] == "Felodipine"
+        assert names[46] == "Simvastatin"
+        assert names[47] == "Atorvastatin"
+        assert names[48] == "Metformin"
+        assert names[61] == "Gabapentin"
+        assert names[83] == "Theophylline"
+        assert "Isosorbide" in names[58] and "Isosorbide" in names[59]
+
+    def test_hypertension_has_most_drugs(self):
+        """Fig. 3: hypertension and cardiovascular dominate the catalog."""
+        by_disease = drugs_by_disease(build_catalog())
+        counts = {d: len(v) for d, v in by_disease.items()}
+        top_two = sorted(counts, key=counts.get, reverse=True)[:2]
+        assert set(top_two) == {"hypertension", "cardiovascular"}
+
+    def test_prevalences_sum_to_one(self):
+        assert sum(DISEASE_PREVALENCE.values()) == pytest.approx(1.0)
+
+    def test_all_diseases_cover_catalog(self):
+        catalog_diseases = {d.disease for d in build_catalog()}
+        listed = set(all_diseases())
+        assert catalog_diseases <= listed
+
+    def test_deterministic(self):
+        assert build_catalog() == build_catalog()
+
+
+class TestDDIGenerator:
+    def test_paper_counts(self):
+        data = generate_ddi(seed=7)
+        assert len(data.synergy) == 97
+        assert len(data.antagonism) == 243
+        assert data.graph.num_edges == 97 + 243
+
+    def test_pinned_edges_present(self):
+        graph = generate_ddi(seed=7).graph
+        for u, v in PINNED_SYNERGY:
+            assert graph.sign(u, v) == 1
+        for u, v in PINNED_ANTAGONISM:
+            assert graph.sign(u, v) == -1
+
+    def test_deterministic_per_seed(self):
+        a = generate_ddi(seed=3)
+        b = generate_ddi(seed=3)
+        assert sorted(a.synergy) == sorted(b.synergy)
+        assert sorted(a.antagonism) == sorted(b.antagonism)
+
+    def test_different_seeds_differ(self):
+        a = generate_ddi(seed=3)
+        b = generate_ddi(seed=4)
+        assert sorted(a.synergy) != sorted(b.synergy)
+
+    def test_no_pair_has_both_signs(self):
+        data = generate_ddi(seed=7)
+        syn = {edge_key(*p) for p in data.synergy}
+        ant = {edge_key(*p) for p in data.antagonism}
+        assert not (syn & ant)
+
+    def test_synergy_mostly_within_disease_class(self):
+        data = generate_ddi(seed=7)
+        disease = {d.did: d.disease for d in data.catalog}
+        within = sum(1 for u, v in data.synergy if disease[u] == disease[v])
+        assert within / len(data.synergy) > 0.5
+
+    def test_antagonism_mostly_across_classes(self):
+        data = generate_ddi(seed=7)
+        disease = {d.did: d.disease for d in data.catalog}
+        across = sum(1 for u, v in data.antagonism if disease[u] != disease[v])
+        assert across / len(data.antagonism) > 0.5
+
+    def test_small_graph_override(self):
+        data = generate_ddi(seed=1, num_synergy=5, num_antagonism=8, num_drugs=20)
+        assert data.graph.num_nodes == 20
+        assert len(data.synergy) == 5
+        assert len(data.antagonism) == 8
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            generate_ddi(seed=1, num_synergy=300, num_antagonism=300, num_drugs=10)
+
+    def test_pins_beyond_budget_rejected(self):
+        with pytest.raises(ValueError):
+            generate_ddi(seed=1, num_synergy=1, num_antagonism=1)
+
+    def test_antagonism_only_view(self):
+        data = generate_ddi(seed=7)
+        neg = antagonism_only(data)
+        assert neg.num_edges == 243
+        assert all(s == -1 for _, _, s in neg.edges_with_signs())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.0, 2.0))
+    def test_no_interaction_edges_ratio(self, ratio):
+        data = generate_ddi(seed=5, num_synergy=10, num_antagonism=10, num_drugs=30)
+        rng = np.random.default_rng(0)
+        augmented = add_no_interaction_edges(data.graph, ratio, rng)
+        zeros = len(augmented.edges_of_sign(0))
+        expected = int(round(ratio * 20))
+        max_free = 30 * 29 // 2 - 20
+        assert zeros == min(expected, max_free)
+        # original signed edges untouched
+        assert len(augmented.edges_of_sign(1)) == 10
+        assert len(augmented.edges_of_sign(-1)) == 10
+
+    def test_no_interaction_negative_ratio_rejected(self):
+        data = generate_ddi(seed=5, num_synergy=5, num_antagonism=5, num_drugs=20)
+        with pytest.raises(ValueError):
+            add_no_interaction_edges(data.graph, -0.5, np.random.default_rng(0))

@@ -1,0 +1,271 @@
+"""Tests for the cohort simulators and the TransE substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    NUM_FEATURES,
+    TransE,
+    build_knowledge_graph,
+    generate_chronic_cohort,
+    generate_ddi,
+    generate_mimic,
+    pretrained_drug_embeddings,
+    split_patients,
+    standardize_features,
+    visit_step_features,
+)
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    return generate_chronic_cohort(num_patients=600, seed=11)
+
+
+class TestChronicCohort:
+    def test_shapes(self, cohort):
+        assert cohort.features.shape == (600, NUM_FEATURES)
+        assert cohort.medications.shape == (600, 86)
+        assert cohort.diseases.shape[0] == 600
+
+    def test_feature_names_unique_and_complete(self, cohort):
+        assert len(cohort.feature_names) == NUM_FEATURES
+        assert len(set(cohort.feature_names)) == NUM_FEATURES
+
+    def test_every_patient_has_disease_and_medication(self, cohort):
+        assert (cohort.diseases.sum(axis=1) >= 1).all()
+        assert (cohort.medications.sum(axis=1) >= 1).all()
+
+    def test_polypharmacy_typical(self, cohort):
+        """Chronic elderly patients take multiple medications on average."""
+        mean_meds = cohort.medications.sum(axis=1).mean()
+        assert 2.0 <= mean_meds <= 8.0
+
+    def test_disease_ranking_matches_fig2(self, cohort):
+        """Hypertension must be the most common disease, cardiovascular next."""
+        counts = cohort.diseases.sum(axis=0)
+        names = cohort.disease_names
+        by_count = [names[i] for i in np.argsort(-counts)]
+        assert by_count[0] == "hypertension"
+        assert by_count[1] == "cardiovascular"
+
+    def test_medications_match_diseases(self, cohort):
+        """Most prescriptions belong to a disease the patient actually has."""
+        from repro.data import drugs_by_disease
+
+        by_disease = drugs_by_disease(cohort.catalog)
+        drug_to_disease = {}
+        for disease, dids in by_disease.items():
+            for did in dids:
+                drug_to_disease[did] = disease
+        name_to_idx = {d: i for i, d in enumerate(cohort.disease_names)}
+        matched = 0
+        total = 0
+        for i in range(cohort.num_patients):
+            for did in np.nonzero(cohort.medications[i])[0]:
+                total += 1
+                disease = drug_to_disease[int(did)]
+                if disease in name_to_idx and cohort.diseases[i, name_to_idx[disease]]:
+                    matched += 1
+        assert matched / total > 0.7
+
+    def test_antagonistic_coprescription_rare_but_present(self):
+        cohort = generate_chronic_cohort(num_patients=800, seed=3)
+        graph = cohort.ddi.graph
+        antagonistic = 0
+        pairs = 0
+        for i in range(cohort.num_patients):
+            drugs = np.nonzero(cohort.medications[i])[0]
+            for a in range(len(drugs)):
+                for b in range(a + 1, len(drugs)):
+                    pairs += 1
+                    if graph.sign_or_none(int(drugs[a]), int(drugs[b])) == -1:
+                        antagonistic += 1
+        rate = antagonistic / pairs
+        assert 0.0 < rate < 0.05  # rare (DDI-aware) but non-zero (Case 4)
+
+    def test_zero_tolerance_removes_all_antagonism(self):
+        cohort = generate_chronic_cohort(
+            num_patients=300, seed=5, antagonism_tolerance=0.0
+        )
+        graph = cohort.ddi.graph
+        for i in range(cohort.num_patients):
+            drugs = np.nonzero(cohort.medications[i])[0]
+            for a in range(len(drugs)):
+                for b in range(a + 1, len(drugs)):
+                    assert graph.sign_or_none(int(drugs[a]), int(drugs[b])) != -1
+
+    def test_features_are_informative(self, cohort):
+        """history_<disease> features must correlate with the disease."""
+        idx = cohort.feature_names.index("history_hypertension")
+        d_idx = cohort.disease_names.index("hypertension")
+        feature = cohort.features[:, idx]
+        disease = cohort.diseases[:, d_idx]
+        corr = np.corrcoef(feature, disease)[0, 1]
+        assert corr > 0.5
+
+    def test_determinism(self):
+        a = generate_chronic_cohort(num_patients=50, seed=9)
+        b = generate_chronic_cohort(num_patients=50, seed=9)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.medications, b.medications)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_chronic_cohort(num_patients=0)
+        with pytest.raises(ValueError):
+            generate_chronic_cohort(num_patients=10, antagonism_tolerance=1.5)
+
+    def test_standardize_features(self, cohort):
+        z = standardize_features(cohort.features)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        stds = z.std(axis=0)
+        assert np.all((np.isclose(stds, 1.0, atol=1e-9)) | (stds == 0.0))
+
+
+class TestSplits:
+    def test_532_split(self):
+        split = split_patients(1000)
+        assert split.sizes == (500, 300, 200)
+
+    def test_partition_property(self):
+        split = split_patients(137, seed=1)
+        combined = np.concatenate([split.train, split.val, split.test])
+        assert len(combined) == 137
+        assert len(np.unique(combined)) == 137
+
+    def test_deterministic(self):
+        a = split_patients(100, seed=2)
+        b = split_patients(100, seed=2)
+        assert np.array_equal(a.train, b.train)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_patients(2)
+        with pytest.raises(ValueError):
+            split_patients(10, ratios=(0.5, 0.3, 0.3))
+        with pytest.raises(ValueError):
+            split_patients(10, ratios=(1.0, 0.0, 0.0))
+
+    def test_tiny_cohort_each_side_nonempty(self):
+        split = split_patients(5)
+        assert all(s >= 1 for s in split.sizes)
+
+
+class TestMimic:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_mimic(num_patients=300, seed=23)
+
+    def test_shapes(self, data):
+        assert data.features.shape == (300, data.num_diagnoses + data.num_procedures)
+        assert data.labels.shape == (300, data.num_drugs)
+
+    def test_every_patient_has_two_visits(self, data):
+        assert all(len(v) >= 2 for v in data.visits)
+
+    def test_labels_match_last_visit(self, data):
+        for i in [0, 10, 100]:
+            last = data.visits[i][-1]
+            assert set(np.nonzero(data.labels[i])[0]) == set(last.medications)
+
+    def test_features_exclude_last_visit(self, data):
+        """A diagnosis code only in the last visit must not appear in features."""
+        for i in range(50):
+            history_diag = set()
+            for visit in data.visits[i][:-1]:
+                history_diag.update(visit.diagnoses)
+            feat_diag = set(np.nonzero(data.features[i][: data.num_diagnoses])[0])
+            assert feat_diag == history_diag
+
+    def test_ddi_antagonism_only(self, data):
+        assert data.ddi.num_edges > 0
+        assert all(s == -1 for _, _, s in data.ddi.edges_with_signs())
+
+    def test_history_predicts_future(self, data):
+        """Patients sharing history features share label drugs more often."""
+        sims = data.features @ data.features.T
+        label_overlap = data.labels @ data.labels.T
+        i_upper = np.triu_indices(data.num_patients, k=1)
+        corr = np.corrcoef(sims[i_upper], label_overlap[i_upper])[0, 1]
+        assert corr > 0.3
+
+    def test_visit_step_features(self, data):
+        steps = visit_step_features(data, max_visits=3)
+        assert 1 <= len(steps) <= 3
+        assert steps[0].shape == data.features.shape
+        # final step must contain the last history visit of every patient
+        last_step = steps[-1]
+        for i in range(20):
+            visit = data.visits[i][-2]
+            assert all(last_step[i, d] == 1.0 for d in visit.diagnoses)
+
+    def test_determinism(self):
+        a = generate_mimic(num_patients=50, seed=1)
+        b = generate_mimic(num_patients=50, seed=1)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_patients(self):
+        with pytest.raises(ValueError):
+            generate_mimic(num_patients=0)
+
+
+class TestDRKGTransE:
+    def test_kg_structure(self):
+        kg = build_knowledge_graph(seed=13)
+        assert kg.num_drugs == 86
+        assert kg.num_entities == 86 + kg.num_diseases + kg.num_genes
+        assert kg.triples.shape[1] == 3
+        assert kg.triples[:, 1].max() < kg.num_relations
+        assert kg.triples[:, [0, 2]].max() < kg.num_entities
+
+    def test_transe_training_reduces_loss(self):
+        kg = build_knowledge_graph(seed=13)
+        model = TransE(kg, dim=16, seed=1)
+        history = model.train(epochs=15, lr=0.05)
+        assert history[-1] < history[0]
+
+    def test_transe_ranks_true_triples_better(self):
+        kg = build_knowledge_graph(seed=13)
+        model = TransE(kg, dim=16, seed=1)
+        model.train(epochs=25, lr=0.05)
+        rng = np.random.default_rng(0)
+        true = kg.triples[rng.choice(len(kg.triples), size=50, replace=False)]
+        corrupted = true.copy()
+        corrupted[:, 2] = rng.integers(0, kg.num_entities, size=50)
+        true_scores = model._scores(true)
+        corrupt_scores = model._scores(corrupted)
+        assert (true_scores < corrupt_scores).mean() > 0.7
+
+    def test_pretrained_embeddings_shape(self):
+        emb = pretrained_drug_embeddings(dim=8, epochs=2, seed=13)
+        assert emb.shape == (86, 8)
+        assert np.isfinite(emb).all()
+
+    def test_invalid_dim(self):
+        kg = build_knowledge_graph(seed=13)
+        with pytest.raises(ValueError):
+            TransE(kg, dim=0)
+
+    def test_same_disease_drugs_embed_closer(self):
+        """TransE should pull drugs treating one disease together."""
+        kg = build_knowledge_graph(seed=13)
+        model = TransE(kg, dim=16, seed=1)
+        model.train(epochs=40, lr=0.05)
+        emb = model.drug_embeddings()
+        from repro.data import build_catalog
+
+        catalog = build_catalog()
+        by_disease = {}
+        for d in catalog:
+            by_disease.setdefault(d.disease, []).append(d.did)
+        hyper = by_disease["hypertension"]
+        other = by_disease["arthritis"]
+        within = np.mean(
+            [np.linalg.norm(emb[a] - emb[b]) for a in hyper[:5] for b in hyper[5:10]]
+        )
+        across = np.mean(
+            [np.linalg.norm(emb[a] - emb[b]) for a in hyper[:5] for b in other[:5]]
+        )
+        assert within < across

@@ -1,0 +1,327 @@
+"""Tests for the GNN layer package."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    BilinearDecoder,
+    EdgeAttentionHead,
+    GCMCEncoder,
+    GINConv,
+    GINEncoder,
+    GRUCell,
+    GRUEncoder,
+    LightGCNPropagation,
+    SGCNConv,
+    SGCNEncoder,
+    SiGATEncoder,
+    SNEAEncoder,
+    bipartite_propagation,
+    default_layer_weights,
+    interaction_mean_adjacency,
+    mean_adjacency,
+    signed_edge_arrays,
+    signed_mean_adjacencies,
+    symmetric_adjacency,
+)
+from repro.graph import BipartiteGraph, SignedGraph
+from repro.nn import Adam, Tensor, mse_loss
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def signed_graph():
+    return SignedGraph.from_signed_edges(
+        5, [(0, 1, 1), (1, 2, -1), (2, 3, 1), (3, 4, -1), (0, 4, 0)]
+    )
+
+
+class TestPropagationHelpers:
+    def test_mean_adjacency_rows_sum_to_one_or_zero(self):
+        adj = np.array([[0, 1, 1], [1, 0, 0], [0, 0, 0]], dtype=float)
+        mean = mean_adjacency(adj)
+        sums = mean.sum(axis=1)
+        assert sums[0] == pytest.approx(1.0)
+        assert sums[1] == pytest.approx(1.0)
+        assert sums[2] == 0.0
+
+    def test_symmetric_adjacency_eigenvalues_bounded(self):
+        adj = np.array([[0, 1], [1, 0]], dtype=float)
+        sym = symmetric_adjacency(adj, self_loops=True)
+        eigs = np.linalg.eigvalsh(sym)
+        assert eigs.max() <= 1.0 + 1e-9
+
+    def test_signed_mean_adjacencies_split(self, signed_graph):
+        pos, neg = signed_mean_adjacencies(signed_graph)
+        assert pos[0, 1] > 0 and neg[0, 1] == 0
+        assert neg[1, 2] > 0 and pos[1, 2] == 0
+        # zero-sign edge contributes to neither
+        assert pos[0, 4] == 0 and neg[0, 4] == 0
+
+    def test_interaction_adjacency_includes_zero_edges(self, signed_graph):
+        with_zero = interaction_mean_adjacency(signed_graph, include_zero=True)
+        without = interaction_mean_adjacency(signed_graph, include_zero=False)
+        assert with_zero[0, 4] > 0
+        assert without[0, 4] == 0
+
+    def test_signed_edge_arrays_bidirectional(self, signed_graph):
+        src, dst, signs = signed_edge_arrays(signed_graph)
+        assert len(src) == 2 * signed_graph.num_edges
+        # every (u, v) has its (v, u) twin with the same sign
+        pairs = set(zip(src.tolist(), dst.tolist(), signs.tolist()))
+        assert all((v, u, s) in pairs for u, v, s in pairs)
+
+    def test_bipartite_propagation_shapes(self):
+        graph = BipartiteGraph.from_matrix(np.array([[1, 0], [1, 1], [0, 1]], dtype=float))
+        p2d, d2p = bipartite_propagation(graph)
+        assert p2d.shape == (3, 2)
+        assert d2p.shape == (2, 3)
+
+
+class TestGIN:
+    def test_shapes(self, rng, signed_graph):
+        adj = interaction_mean_adjacency(signed_graph)
+        conv = GINConv(4, 8, rng)
+        out = conv(Tensor(np.ones((5, 4))), adj)
+        assert out.shape == (5, 8)
+
+    def test_encoder_stacks(self, rng, signed_graph):
+        adj = interaction_mean_adjacency(signed_graph)
+        enc = GINEncoder(4, 16, 3, rng)
+        out = enc(Tensor(rng.normal(size=(5, 4))), adj)
+        assert out.shape == (5, 16)
+        assert enc.out_dim == 16
+
+    def test_encoder_validates_layers(self, rng):
+        with pytest.raises(ValueError):
+            GINEncoder(4, 8, 0, rng)
+
+    def test_gradients_reach_eps_and_mlp(self, rng, signed_graph):
+        adj = interaction_mean_adjacency(signed_graph)
+        conv = GINConv(3, 3, rng)
+        out = conv(Tensor(rng.normal(size=(5, 3))), adj)
+        (out * out).sum().backward()
+        assert conv.eps.grad is not None
+        assert all(p.grad is not None for p in conv.mlp.parameters())
+
+    def test_isolated_node_keeps_self_signal(self, rng):
+        graph = SignedGraph(3)
+        graph.add_edge(0, 1, 1)  # node 2 isolated
+        adj = interaction_mean_adjacency(graph)
+        conv = GINConv(2, 2, rng)
+        x = np.zeros((3, 2))
+        x[2] = [1.0, -1.0]
+        out = conv(Tensor(x), adj).numpy()
+        assert not np.allclose(out[2], 0.0)
+
+
+class TestSGCN:
+    def test_conv_shapes(self, rng, signed_graph):
+        pos, neg = signed_mean_adjacencies(signed_graph)
+        conv = SGCNConv(4, 4, rng)
+        hb, hu = conv(Tensor(np.ones((5, 4))), Tensor(np.ones((5, 4))), pos, neg)
+        assert hb.shape == (5, 4)
+        assert hu.shape == (5, 4)
+
+    def test_encoder_output_is_concat(self, rng, signed_graph):
+        pos, neg = signed_mean_adjacencies(signed_graph)
+        enc = SGCNEncoder(6, 8, 2, rng)
+        out = enc(Tensor(rng.normal(size=(5, 6))), pos, neg)
+        assert out.shape == (5, 8)
+        assert enc.out_dim == 8
+
+    def test_encoder_rejects_odd_hidden(self, rng):
+        with pytest.raises(ValueError):
+            SGCNEncoder(4, 7, 2, rng)
+
+    def test_sign_paths_differ(self, rng):
+        """Flipping an edge sign must change the output (signs are used)."""
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        pos_graph = SignedGraph.from_signed_edges(3, [(0, 1, 1), (1, 2, 1)])
+        neg_graph = SignedGraph.from_signed_edges(3, [(0, 1, -1), (1, 2, -1)])
+        enc = SGCNEncoder(4, 8, 2, rng)
+        out_pos = enc(Tensor(x), *signed_mean_adjacencies(pos_graph)).numpy()
+        out_neg = enc(Tensor(x), *signed_mean_adjacencies(neg_graph)).numpy()
+        assert not np.allclose(out_pos, out_neg)
+
+
+class TestAttentionBackbones:
+    def test_attention_head_zero_edges(self, rng):
+        head = EdgeAttentionHead(4, 6, rng)
+        out = head(
+            Tensor(np.ones((3, 4))), np.array([], dtype=int), np.array([], dtype=int), 3
+        )
+        assert out.shape == (3, 6)
+        assert np.allclose(out.numpy(), 0.0)
+
+    def test_attention_weights_sum_to_one_effect(self, rng):
+        """With identical neighbours the aggregate equals the message itself."""
+        head = EdgeAttentionHead(2, 2, rng)
+        feats = np.ones((4, 2))
+        src = np.array([1, 2, 3])
+        dst = np.array([0, 0, 0])
+        out = head(Tensor(feats), src, dst, 4).numpy()
+        single = head(Tensor(feats), np.array([1]), np.array([0]), 4).numpy()
+        assert np.allclose(out[0], single[0], atol=1e-9)
+
+    def test_sigat_encoder_shapes(self, rng, signed_graph):
+        src, dst, signs = signed_edge_arrays(signed_graph)
+        enc = SiGATEncoder(4, 8, 2, rng)
+        out = enc(Tensor(np.ones((5, 4))), src, dst, signs, 5)
+        assert out.shape == (5, 8)
+
+    def test_snea_encoder_shapes(self, rng, signed_graph):
+        src, dst, signs = signed_edge_arrays(signed_graph)
+        enc = SNEAEncoder(4, 8, 2, rng)
+        out = enc(Tensor(np.ones((5, 4))), src, dst, signs, 5)
+        assert out.shape == (5, 8)
+
+    def test_snea_rejects_odd_hidden(self, rng):
+        with pytest.raises(ValueError):
+            SNEAEncoder(4, 9, 1, rng)
+
+    def test_sigat_gradients_flow(self, rng, signed_graph):
+        src, dst, signs = signed_edge_arrays(signed_graph)
+        enc = SiGATEncoder(3, 4, 1, rng)
+        out = enc(Tensor(rng.normal(size=(5, 3))), src, dst, signs, 5)
+        (out * out).sum().backward()
+        grads = [p.grad for p in enc.parameters()]
+        assert sum(g is not None for g in grads) >= len(grads) - 1
+
+
+class TestLightGCN:
+    def test_default_weights_match_paper(self):
+        weights = default_layer_weights(2)
+        assert weights == pytest.approx([0.5, 1.0 / 3.0, 0.25])
+
+    def test_propagation_shapes(self):
+        graph = BipartiteGraph.from_matrix(
+            np.array([[1, 0, 1], [0, 1, 0]], dtype=float)
+        )
+        p2d, d2p = bipartite_propagation(graph)
+        prop = LightGCNPropagation(2)
+        hp, hd = prop(Tensor(np.ones((2, 4))), Tensor(np.ones((3, 4))), p2d, d2p)
+        assert hp.shape == (2, 4)
+        assert hd.shape == (3, 4)
+
+    def test_layer0_weight_keeps_self_features(self):
+        """With zero adjacency, output = beta_0 * input (only layer 0 term)."""
+        prop = LightGCNPropagation(2)
+        p2d = np.zeros((2, 3))
+        d2p = np.zeros((3, 2))
+        x_p = np.ones((2, 4))
+        hp, _ = prop(Tensor(x_p), Tensor(np.ones((3, 4))), p2d, d2p)
+        assert np.allclose(hp.numpy(), 0.5 * x_p)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            LightGCNPropagation(0)
+        with pytest.raises(ValueError):
+            LightGCNPropagation(2, layer_weights=[1.0])
+        with pytest.raises(ValueError):
+            LightGCNPropagation(1, layer_weights=[0.5, -0.1])
+
+    def test_two_hop_reaches_other_patients(self):
+        """After 2 layers a patient's rep reflects co-prescribed patients."""
+        mat = np.array([[1, 0], [1, 0], [0, 1]], dtype=float)
+        graph = BipartiteGraph.from_matrix(mat)
+        p2d, d2p = bipartite_propagation(graph)
+        prop = LightGCNPropagation(2, layer_weights=[0.0, 0.0, 1.0])  # isolate t=2
+        x_p = np.eye(3, 4)
+        x_d = np.zeros((2, 4))
+        hp, _ = prop(Tensor(x_p), Tensor(x_d), p2d, d2p)
+        # patient 0 and 1 share drug 0 => patient 0's t=2 rep includes e1
+        assert hp.numpy()[0, 1] > 0
+        assert hp.numpy()[0, 2] == 0  # patient 2 shares nothing
+
+
+class TestGCMC:
+    def test_encoder_decoder_shapes(self, rng):
+        graph = BipartiteGraph.from_matrix(np.array([[1, 0], [1, 1]], dtype=float))
+        channels = [bipartite_propagation(graph)]
+        enc = GCMCEncoder(5, 3, 8, 6, 1, rng)
+        hp, hd = enc(Tensor(np.ones((2, 5))), Tensor(np.ones((2, 3))), channels)
+        assert hp.shape == (2, 6)
+        assert hd.shape == (2, 6)
+        dec = BilinearDecoder(6, rng)
+        scores = dec(hp, hd)
+        assert scores.shape == (2, 2)
+
+    def test_channel_count_validated(self, rng):
+        enc = GCMCEncoder(5, 3, 8, 6, 2, rng)
+        with pytest.raises(ValueError):
+            enc(Tensor(np.ones((2, 5))), Tensor(np.ones((2, 3))), [])
+
+    def test_gcmc_learns_to_rank_observed_link(self, rng):
+        mat = np.array([[1.0, 0.0], [0.0, 1.0]])
+        graph = BipartiteGraph.from_matrix(mat)
+        channels = [bipartite_propagation(graph)]
+        x_p = Tensor(np.eye(2))
+        x_d = Tensor(np.eye(2))
+        enc = GCMCEncoder(2, 2, 8, 8, 1, rng)
+        dec = BilinearDecoder(8, rng)
+        params = enc.parameters() + dec.parameters()
+        opt = Adam(params, lr=0.01)
+        for _ in range(200):
+            opt.zero_grad()
+            hp, hd = enc(x_p, x_d, channels)
+            scores = dec(hp, hd).sigmoid()
+            loss = mse_loss(scores, Tensor(mat))
+            loss.backward()
+            opt.step()
+        final = dec(*enc(x_p, x_d, channels)).sigmoid().numpy()
+        assert final[0, 0] > final[0, 1]
+        assert final[1, 1] > final[1, 0]
+
+
+class TestGRU:
+    def test_cell_shapes(self, rng):
+        cell = GRUCell(3, 5, rng)
+        h = cell(Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 5))))
+        assert h.shape == (2, 5)
+
+    def test_encoder_requires_steps(self, rng):
+        enc = GRUEncoder(3, 5, rng)
+        with pytest.raises(ValueError):
+            enc([])
+
+    def test_encoder_batch_consistency(self, rng):
+        enc = GRUEncoder(3, 5, rng)
+        with pytest.raises(ValueError):
+            enc([Tensor(np.ones((2, 3))), Tensor(np.ones((3, 3)))])
+
+    def test_hidden_state_bounded_by_tanh(self, rng):
+        enc = GRUEncoder(2, 4, rng)
+        steps = [Tensor(np.random.default_rng(i).normal(size=(3, 2)) * 10) for i in range(6)]
+        h = enc(steps).numpy()
+        assert np.all(np.abs(h) <= 1.0 + 1e-9)
+
+    def test_order_sensitivity(self, rng):
+        """GRU output must depend on step order."""
+        enc = GRUEncoder(2, 4, rng)
+        a = Tensor(np.full((1, 2), 1.0))
+        b = Tensor(np.full((1, 2), -1.0))
+        h_ab = enc([a, b]).numpy()
+        h_ba = enc([b, a]).numpy()
+        assert not np.allclose(h_ab, h_ba)
+
+    def test_gru_learns_last_input(self, rng):
+        """Train the GRU to output the final step's first feature."""
+        enc = GRUEncoder(1, 4, rng)
+        from repro.nn import Linear
+
+        head = Linear(4, 1, rng)
+        opt = Adam(enc.parameters() + head.parameters(), lr=0.02)
+        data_rng = np.random.default_rng(5)
+        for _ in range(150):
+            seq = [Tensor(data_rng.normal(size=(8, 1))) for _ in range(3)]
+            target = seq[-1].numpy()
+            opt.zero_grad()
+            loss = mse_loss(head(enc(seq)), Tensor(target))
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.1

@@ -1,0 +1,178 @@
+"""Tests for the core graph data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BipartiteGraph, Graph, SignedGraph, edge_key
+
+
+class TestGraph:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_add_edge_symmetric(self):
+        g = Graph(3)
+        g.add_edge(0, 2)
+        assert g.has_edge(0, 2)
+        assert g.has_edge(2, 0)
+        assert 2 in g.neighbors(0)
+        assert 0 in g.neighbors(2)
+
+    def test_no_self_loops(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range(self):
+        g = Graph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 5)
+
+    def test_duplicate_edge_idempotent(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert g.num_edges == 1
+
+    def test_remove_edge(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.remove_edge(1, 0)
+        assert g.num_edges == 0
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_copy_is_independent(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        clone = g.copy()
+        clone.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_subgraph_relabels(self):
+        g = Graph.from_edges(5, [(0, 3), (3, 4), (1, 2)])
+        sub, mapping = g.subgraph([0, 3, 4])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert sub.has_edge(mapping[0], mapping[3])
+
+    def test_adjacency_matrix_symmetric(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        mat = g.adjacency_matrix()
+        assert np.allclose(mat, mat.T)
+        assert mat.sum() == 4  # two edges, counted twice
+
+    def test_add_node_grows(self):
+        g = Graph(1)
+        new = g.add_node()
+        assert new == 1
+        g.add_edge(0, 1)
+        assert g.num_edges == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30))
+    def test_degree_sum_is_twice_edges(self, pairs):
+        g = Graph(10)
+        for u, v in pairs:
+            if u != v:
+                g.add_edge(u, v)
+        assert sum(g.degree(n) for n in g.nodes()) == 2 * g.num_edges
+
+
+class TestSignedGraph:
+    def test_sign_roundtrip(self):
+        g = SignedGraph(4)
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 2, -1)
+        g.add_edge(2, 3, 0)
+        assert g.sign(1, 0) == 1
+        assert g.sign(2, 1) == -1
+        assert g.sign(3, 2) == 0
+
+    def test_invalid_sign(self):
+        g = SignedGraph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, 2)
+
+    def test_positive_negative_neighbors(self):
+        g = SignedGraph.from_signed_edges(4, [(0, 1, 1), (0, 2, -1), (0, 3, 1)])
+        assert g.positive_neighbors(0) == {1, 3}
+        assert g.negative_neighbors(0) == {2}
+
+    def test_signed_adjacency_values(self):
+        g = SignedGraph.from_signed_edges(3, [(0, 1, 1), (1, 2, -1)])
+        mat = g.signed_adjacency()
+        assert mat[0, 1] == 1.0
+        assert mat[1, 2] == -1.0
+        assert np.allclose(mat, mat.T)
+
+    def test_to_unsigned_drops_zero_edges(self):
+        g = SignedGraph.from_signed_edges(4, [(0, 1, 1), (1, 2, 0), (2, 3, -1)])
+        plain = g.to_unsigned()
+        assert plain.num_edges == 2
+        assert not plain.has_edge(1, 2)
+        with_zero = g.to_unsigned(include_zero=True)
+        assert with_zero.num_edges == 3
+
+    def test_sign_or_none(self):
+        g = SignedGraph(3)
+        assert g.sign_or_none(0, 1) is None
+        g.add_edge(0, 1, -1)
+        assert g.sign_or_none(1, 0) == -1
+
+    def test_edges_of_sign(self):
+        g = SignedGraph.from_signed_edges(4, [(0, 1, 1), (1, 2, -1), (2, 3, -1)])
+        assert len(g.edges_of_sign(-1)) == 2
+        assert len(g.edges_of_sign(1)) == 1
+        assert len(g.edges_of_sign(0)) == 0
+
+    def test_repr_counts(self):
+        g = SignedGraph.from_signed_edges(3, [(0, 1, 1), (1, 2, -1)])
+        assert "+1/-1" in repr(g)
+
+
+class TestBipartiteGraph:
+    def test_links_both_directions(self):
+        g = BipartiteGraph(2, 3)
+        g.add_link(0, 2)
+        assert g.has_link(0, 2)
+        assert 2 in g.drugs_of(0)
+        assert 0 in g.patients_of(2)
+
+    def test_bounds(self):
+        g = BipartiteGraph(1, 1)
+        with pytest.raises(IndexError):
+            g.add_link(1, 0)
+        with pytest.raises(IndexError):
+            g.add_link(0, 1)
+
+    def test_matrix_roundtrip(self):
+        mat = np.array([[1, 0, 1], [0, 1, 0]], dtype=float)
+        g = BipartiteGraph.from_matrix(mat)
+        assert np.allclose(g.to_matrix(), mat)
+        assert g.num_links == 3
+
+    def test_links_iterator_sorted(self):
+        g = BipartiteGraph.from_matrix(np.array([[0, 1, 1], [1, 0, 0]], dtype=float))
+        assert list(g.links()) == [(0, 1), (0, 2), (1, 0)]
+
+    def test_normalized_adjacency_values(self):
+        # patient 0 takes drugs {0, 1}; patient 1 takes drug {0}
+        mat = np.array([[1, 1], [1, 0]], dtype=float)
+        g = BipartiteGraph.from_matrix(mat)
+        p2d, d2p = g.normalized_adjacency()
+        # P2D[0, 0] = 1 / sqrt(|N_0| * |N_drug0|) = 1 / sqrt(2 * 2)
+        assert p2d[0, 0] == pytest.approx(0.5)
+        assert p2d[0, 1] == pytest.approx(1.0 / np.sqrt(2.0))
+        assert np.allclose(d2p, p2d.T)
+
+    def test_normalized_adjacency_handles_isolated(self):
+        mat = np.zeros((2, 2))
+        g = BipartiteGraph.from_matrix(mat)
+        p2d, _ = g.normalized_adjacency()
+        assert np.allclose(p2d, 0.0)

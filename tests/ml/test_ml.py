@@ -1,0 +1,169 @@
+"""Tests for the classic-ML substrate (K-means, logistic regression, SVM)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import KMeansResult, LinearSVM, LogisticRegression, MultiLabelSVM, kmeans
+
+
+def two_blobs(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=(-3, 0), scale=0.5, size=(n // 2, 2))
+    b = rng.normal(loc=(3, 0), scale=0.5, size=(n // 2, 2))
+    x = np.vstack([a, b])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return x, y
+
+
+class TestKMeans:
+    def test_separates_blobs(self):
+        x, y = two_blobs()
+        result = kmeans(x, 2, seed=0)
+        # cluster labels must align with blob identity (up to permutation)
+        same = (result.labels == y).mean()
+        assert max(same, 1 - same) > 0.95
+
+    def test_labels_match_nearest_center(self):
+        x, _ = two_blobs(seed=1)
+        result = kmeans(x, 3, seed=1)
+        dists = ((x[:, None, :] - result.centers[None, :, :]) ** 2).sum(axis=2)
+        assert np.array_equal(result.labels, dists.argmin(axis=1))
+
+    def test_inertia_decreases_with_k(self):
+        x, _ = two_blobs(seed=2)
+        inertias = [kmeans(x, k, seed=0).inertia for k in (1, 2, 4)]
+        assert inertias[0] >= inertias[1] >= inertias[2]
+
+    def test_k_equals_n(self):
+        x = np.arange(10, dtype=float).reshape(5, 2)
+        result = kmeans(x, 5, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+        assert len(np.unique(result.labels)) == 5
+
+    def test_k1(self):
+        x, _ = two_blobs()
+        result = kmeans(x, 1)
+        assert np.allclose(result.centers[0], x.mean(axis=0))
+
+    def test_validation(self):
+        x = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            kmeans(x, 0)
+        with pytest.raises(ValueError):
+            kmeans(x, 6)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2)
+
+    def test_identical_points(self):
+        x = np.ones((20, 3))
+        result = kmeans(x, 3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_predict_new_points(self):
+        x, _ = two_blobs()
+        result = kmeans(x, 2, seed=0)
+        pred = result.predict(np.array([[-3.0, 0.0], [3.0, 0.0]]))
+        assert pred[0] != pred[1]
+
+    def test_deterministic(self):
+        x, _ = two_blobs(seed=3)
+        a = kmeans(x, 3, seed=7)
+        b = kmeans(x, 3, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 5))
+    def test_every_cluster_nonempty_on_spread_data(self, k):
+        rng = np.random.default_rng(k)
+        x = rng.normal(size=(50, 3))
+        result = kmeans(x, k, seed=0)
+        assert len(np.unique(result.labels)) == k
+
+
+class TestLogisticRegression:
+    def test_learns_separable(self):
+        x, y = two_blobs()
+        model = LogisticRegression(lr=0.5, max_iter=500).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.98
+
+    def test_proba_bounds(self):
+        x, y = two_blobs()
+        probs = LogisticRegression().fit(x, y).predict_proba(x)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_l2_shrinks_weights(self):
+        x, y = two_blobs()
+        small = LogisticRegression(l2=0.0, lr=0.5, max_iter=400).fit(x, y)
+        large = LogisticRegression(l2=1.0, lr=0.5, max_iter=400).fit(x, y)
+        assert np.linalg.norm(large.weights) < np.linalg.norm(small.weights)
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+
+class TestSVM:
+    def test_learns_separable(self):
+        x, y = two_blobs(seed=5)
+        model = LinearSVM(epochs=80).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.97
+
+    def test_decision_sign_matches_prediction(self):
+        x, y = two_blobs(seed=6)
+        model = LinearSVM().fit(x, y)
+        scores = model.decision_function(x)
+        assert np.array_equal(model.predict(x), (scores >= 0).astype(int))
+
+    def test_nonbinary_labels_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.zeros((1, 2)))
+
+    def test_invalid_reg(self):
+        with pytest.raises(ValueError):
+            LinearSVM(reg=0.0)
+
+    def test_multilabel_ranking(self):
+        """The OvR SVM must rank the true label drug above a random one."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 6))
+        w = rng.normal(size=(6, 4))
+        y = ((x @ w) > 0.5).astype(int)
+        model = MultiLabelSVM(epochs=40).fit(x, y)
+        scores = model.decision_matrix(x)
+        assert scores.shape == (200, 4)
+        # AUC-flavoured check: mean score on positives above negatives per label
+        for label in range(4):
+            pos, neg = y[:, label] == 1, y[:, label] == 0
+            if pos.any() and neg.any():
+                assert scores[pos, label].mean() > scores[neg, label].mean()
+
+    def test_multilabel_constant_column(self):
+        x = np.random.default_rng(1).normal(size=(30, 3))
+        y = np.zeros((30, 2), dtype=int)
+        y[:, 1] = 1
+        model = MultiLabelSVM().fit(x, y)
+        scores = model.decision_matrix(x)
+        assert np.allclose(scores[:, 0], -1.0)
+        assert np.allclose(scores[:, 1], 1.0)
+
+    def test_multilabel_requires_2d(self):
+        with pytest.raises(ValueError):
+            MultiLabelSVM().fit(np.zeros((3, 2)), np.zeros(3))
+
+    def test_multilabel_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            MultiLabelSVM().decision_matrix(np.zeros((1, 2)))

@@ -1,0 +1,275 @@
+"""Tests for layers, optimizers and losses of the nn substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm1d,
+    Dropout,
+    Embedding,
+    Linear,
+    MLP,
+    Module,
+    ParameterList,
+    SGD,
+    Sequential,
+    Tensor,
+    bce_loss,
+    bce_with_logits,
+    clip_grad_norm,
+    get_activation,
+    l2_regularizer,
+    margin_ranking_loss,
+    mse_loss,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLinearAndMLP:
+    def test_linear_shapes(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.ones((7, 4))))
+        assert out.shape == (7, 3)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_mlp_forward_shape(self, rng):
+        mlp = MLP([5, 8, 8, 2], rng)
+        assert mlp(Tensor(np.zeros((3, 5)))).shape == (3, 2)
+
+    def test_mlp_requires_two_sizes(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_mlp_batchnorm_layers_registered(self, rng):
+        mlp = MLP([5, 8, 2], rng, batch_norm=True)
+        names = dict(mlp.named_parameters())
+        assert any("norm0" in n for n in names)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            get_activation("swishy")
+
+    def test_linear_learns_identity(self, rng):
+        layer = Linear(2, 2, rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        x_val = rng.normal(size=(64, 2))
+        for _ in range(300):
+            opt.zero_grad()
+            loss = mse_loss(layer(Tensor(x_val)), Tensor(x_val))
+            loss.backward()
+            opt.step()
+        assert float(loss.numpy()) < 1e-3
+
+
+class TestModuleProtocol:
+    def test_parameters_recursive(self, rng):
+        seq = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+        assert len(seq.parameters()) == 4
+
+    def test_named_parameters_unique(self, rng):
+        mlp = MLP([3, 4, 2], rng)
+        names = [n for n, _ in mlp.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_state_dict_roundtrip(self, rng):
+        src = MLP([3, 4, 2], rng)
+        dst = MLP([3, 4, 2], np.random.default_rng(7))
+        dst.load_state_dict(src.state_dict())
+        x = Tensor(rng.normal(size=(5, 3)))
+        assert np.allclose(src(x).numpy(), dst(x).numpy())
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        mlp = MLP([3, 4, 2], rng)
+        state = mlp.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            mlp.load_state_dict(state)
+
+    def test_load_state_dict_missing_key(self, rng):
+        mlp = MLP([3, 4, 2], rng)
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({})
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Dropout(0.5, rng), Linear(3, 3, rng))
+        seq.eval()
+        assert not seq.items[0].training
+        seq.train()
+        assert seq.items[0].training
+
+    def test_zero_grad_clears(self, rng):
+        layer = Linear(2, 2, rng)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_parameter_list(self):
+        plist = ParameterList([Tensor(np.zeros(2), requires_grad=True) for _ in range(3)])
+        assert len(plist) == 3
+        assert len(plist.parameters()) == 3
+        assert plist[0].shape == (2,)
+
+
+class TestBatchNormDropoutEmbedding:
+    def test_batchnorm_normalizes_training_batch(self, rng):
+        bn = BatchNorm1d(4)
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(200, 4)))
+        out = bn(x).numpy()
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(2, momentum=1.0)
+        x = Tensor(rng.normal(loc=2.0, size=(100, 2)))
+        bn(x)  # updates running stats fully (momentum=1)
+        bn.eval()
+        out = bn(Tensor(np.full((10, 2), 2.0))).numpy()
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_dropout_eval_is_identity(self, rng):
+        drop = Dropout(0.7, rng)
+        drop.eval()
+        x = np.ones((4, 4))
+        assert np.allclose(drop(Tensor(x)).numpy(), x)
+
+    def test_dropout_scales_kept_units(self, rng):
+        drop = Dropout(0.5, rng)
+        out = drop(Tensor(np.ones((1000, 10)))).numpy()
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_embedding_lookup_and_bounds(self, rng):
+        emb = Embedding(5, 3, rng)
+        out = emb(np.array([0, 4]))
+        assert out.shape == (2, 3)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+    def test_embedding_gradient_flows_to_rows(self, rng):
+        emb = Embedding(4, 2, rng)
+        out = emb(np.array([1, 1]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        assert np.allclose(grad[1], [2.0, 2.0])
+        assert np.allclose(grad[0], 0.0)
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        x = Tensor([10.0], requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (x * x).sum().backward()
+            opt.step()
+        assert abs(x.item()) < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        def run(momentum):
+            x = Tensor([10.0], requires_grad=True)
+            opt = SGD([x], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                (x * x).sum().backward()
+                opt.step()
+            return abs(x.item())
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_descends_rosenbrock_slice(self):
+        x = Tensor([0.0, 0.0], requires_grad=True)
+        opt = Adam([x], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            a = x[np.array([0])]
+            b = x[np.array([1])]
+            loss = ((1.0 - a) ** 2 + 100.0 * (b - a * a) ** 2).sum()
+            loss.backward()
+            opt.step()
+        assert np.allclose(x.numpy(), [1.0, 1.0], atol=0.15)
+
+    def test_weight_decay_shrinks_weights(self):
+        x = Tensor([5.0], requires_grad=True)
+        opt = SGD([x], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (x * 0.0).sum().backward()
+        opt.step()
+        assert x.item() < 5.0
+
+    def test_optimizer_requires_params(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_clip_grad_norm(self):
+        x = Tensor([3.0, 4.0], requires_grad=True)
+        (x * x).sum().backward()  # grad = (6, 8), norm 10
+        norm = clip_grad_norm([x], 1.0)
+        assert norm == pytest.approx(10.0)
+        assert np.linalg.norm(x.grad) == pytest.approx(1.0)
+
+    def test_step_skips_none_grads(self):
+        x = Tensor([1.0], requires_grad=True)
+        opt = Adam([x])
+        opt.step()  # no backward ran; should not crash
+        assert x.item() == 1.0
+
+
+class TestLosses:
+    def test_mse_zero_when_equal(self):
+        pred = Tensor([1.0, 2.0])
+        assert float(mse_loss(pred, np.array([1.0, 2.0])).numpy()) == 0.0
+
+    def test_bce_matches_closed_form(self):
+        prob = Tensor([0.9, 0.1])
+        target = np.array([1.0, 0.0])
+        expected = -np.mean([np.log(0.9), np.log(0.9)])
+        assert float(bce_loss(prob, target).numpy()) == pytest.approx(expected)
+
+    def test_bce_stable_at_extremes(self):
+        prob = Tensor([0.0, 1.0])
+        val = float(bce_loss(prob, np.array([1.0, 0.0])).numpy())
+        assert np.isfinite(val)
+
+    def test_bce_with_logits_matches_bce(self):
+        rng = np.random.default_rng(0)
+        logits_val = rng.normal(size=20)
+        target = (rng.random(20) > 0.5).astype(float)
+        a = float(bce_with_logits(Tensor(logits_val), target).numpy())
+        probs = 1.0 / (1.0 + np.exp(-logits_val))
+        b = float(bce_loss(Tensor(probs), target).numpy())
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_bce_with_logits_gradient_is_sigmoid_minus_target(self):
+        logits = Tensor([0.0, 2.0], requires_grad=True)
+        target = np.array([1.0, 0.0])
+        bce_with_logits(logits, target).backward()
+        expected = (1.0 / (1.0 + np.exp(-logits.numpy())) - target) / 2.0
+        assert np.allclose(logits.grad, expected, atol=1e-8)
+
+    def test_margin_ranking_loss_zero_when_separated(self):
+        pos = Tensor([0.0])
+        neg = Tensor([5.0])
+        assert float(margin_ranking_loss(pos, neg, margin=1.0).numpy()) == 0.0
+
+    def test_l2_regularizer(self):
+        params = [Tensor([3.0], requires_grad=True), Tensor([4.0], requires_grad=True)]
+        assert float(l2_regularizer(params, 0.5).numpy()) == pytest.approx(12.5)
+
+    def test_l2_regularizer_empty(self):
+        assert float(l2_regularizer([], 1.0).numpy()) == 0.0

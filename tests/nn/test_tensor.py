@@ -1,0 +1,285 @@
+"""Unit and property-based tests for the autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import (
+    Tensor,
+    concat,
+    gather_rows,
+    matmul_fixed,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    softmax,
+    stack,
+    where,
+)
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(x)
+        flat[i] = orig - eps
+        minus = fn(x)
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+    elements=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+)
+
+
+class TestForward:
+    def test_add(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        assert np.allclose((a + b).numpy(), [4.0, 6.0])
+
+    def test_scalar_broadcast(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose((a + 1.0).numpy(), [[2.0, 3.0], [4.0, 5.0]])
+        assert np.allclose((2.0 * a).numpy(), [[2.0, 4.0], [6.0, 8.0]])
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        assert np.allclose((a @ b).numpy(), a.numpy() @ b.numpy())
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = Tensor([-800.0, 0.0, 800.0])
+        y = x.sigmoid().numpy()
+        assert np.all(np.isfinite(y))
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(0.5)
+        assert y[2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)))
+        s = softmax(x, axis=-1).numpy()
+        assert np.allclose(s.sum(axis=-1), 1.0)
+
+    def test_backward_on_nonscalar_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2.0).backward()
+
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestBackward:
+    def test_add_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [3.0, 4.0])
+        assert np.allclose(b.grad, [1.0, 2.0])
+
+    def test_broadcast_bias_grad_sums_over_batch(self):
+        x = Tensor(np.ones((5, 3)), requires_grad=True)
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        (x + bias).sum().backward()
+        assert np.allclose(bias.grad, [5.0, 5.0, 5.0])
+
+    def test_matmul_grads(self):
+        rng = np.random.default_rng(1)
+        a_val = rng.normal(size=(4, 3))
+        b_val = rng.normal(size=(3, 2))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+        num_a = numerical_grad(lambda v: (v @ b_val).sum(), a_val.copy())
+        num_b = numerical_grad(lambda v: (a_val @ v).sum(), b_val.copy())
+        assert np.allclose(a.grad, num_a, atol=1e-5)
+        assert np.allclose(b.grad, num_b, atol=1e-5)
+
+    def test_vector_matmul_grads(self):
+        rng = np.random.default_rng(2)
+        a_val = rng.normal(size=3)
+        b_val = rng.normal(size=(3, 2))
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+        num_a = numerical_grad(lambda v: (v @ b_val).sum(), a_val.copy())
+        assert np.allclose(a.grad, num_a, atol=1e-5)
+
+    def test_grad_accumulates_on_reuse(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x  # x used twice
+        y.sum().backward()
+        assert np.allclose(x.grad, [4.0])
+
+    def test_getitem_scatter_adds_duplicates(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        assert np.allclose(x.grad, [2.0, 0.0, 1.0])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor([1.0, 1.0], requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad.sum(), 1.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.0001
+        y.sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda t: t.exp(),
+            lambda t: t.tanh(),
+            lambda t: t.sigmoid(),
+            lambda t: t.relu(),
+            lambda t: t.leaky_relu(0.2),
+            lambda t: t.softplus(),
+            lambda t: t.abs(),
+            lambda t: t * t,
+            lambda t: t**3,
+            lambda t: t / 2.0,
+            lambda t: 1.0 / (t + 10.0),
+            lambda t: (t + 5.0).log(),
+            lambda t: (t + 5.0).sqrt(),
+        ],
+    )
+    def test_unary_ops_match_numerical_gradient(self, op):
+        rng = np.random.default_rng(3)
+        x_val = rng.normal(size=(3, 4)) + 0.3  # keep away from relu/abs kinks
+        x = Tensor(x_val, requires_grad=True)
+        op(x).sum().backward()
+
+        def scalar_fn(v):
+            return float(op(Tensor(v)).sum().numpy())
+
+        num = numerical_grad(scalar_fn, x_val.copy())
+        assert np.allclose(x.grad, num, atol=1e-4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_arrays)
+    def test_sum_gradient_is_ones(self, x_val):
+        x = Tensor(x_val, requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, np.ones_like(x_val))
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_arrays)
+    def test_mean_gradient_is_uniform(self, x_val):
+        x = Tensor(x_val, requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, np.full_like(x_val, 1.0 / x_val.size))
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_arrays)
+    def test_tanh_gradient_property(self, x_val):
+        x = Tensor(x_val, requires_grad=True)
+        y = x.tanh()
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0 - np.tanh(x_val) ** 2, atol=1e-10)
+
+
+class TestStructuredOps:
+    def test_concat_forward_and_grads(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(2 * np.ones((2, 2)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * Tensor(np.arange(10, dtype=float).reshape(2, 5))).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (2, 2)
+        assert np.allclose(a.grad, [[0, 1, 2], [5, 6, 7]])
+        assert np.allclose(b.grad, [[3, 4], [8, 9]])
+
+    def test_stack_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        (out.sum()).backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_where_routes_gradients(self):
+        cond = np.array([True, False, True])
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0, 6.0], requires_grad=True)
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+    def test_matmul_fixed_matches_dense(self):
+        rng = np.random.default_rng(4)
+        adj = rng.random((5, 5))
+        x_val = rng.normal(size=(5, 3))
+        x1 = Tensor(x_val, requires_grad=True)
+        x2 = Tensor(x_val, requires_grad=True)
+        matmul_fixed(adj, x1).sum().backward()
+        (Tensor(adj) @ x2).sum().backward()
+        assert np.allclose(x1.grad, x2.grad)
+
+    def test_segment_sum_and_mean(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]), requires_grad=True)
+        seg = np.array([0, 0, 1, 1])
+        total = segment_sum(x, seg, 2)
+        assert np.allclose(total.numpy(), [[3.0], [7.0]])
+        mean = segment_mean(x, seg, 2)
+        assert np.allclose(mean.numpy(), [[1.5], [3.5]])
+        mean.sum().backward()
+        assert np.allclose(x.grad, [[0.5], [0.5], [0.5], [0.5]])
+
+    def test_segment_mean_empty_segment_is_zero(self):
+        x = Tensor(np.array([[2.0]]))
+        out = segment_mean(x, np.array([1]), 3)
+        assert np.allclose(out.numpy(), [[0.0], [2.0], [0.0]])
+
+    def test_segment_softmax_normalizes_per_segment(self):
+        scores = Tensor(np.array([1.0, 2.0, 3.0, 1.0]), requires_grad=True)
+        seg = np.array([0, 0, 1, 1])
+        out = segment_softmax(scores, seg, 2)
+        vals = out.numpy()
+        assert vals[0] + vals[1] == pytest.approx(1.0)
+        assert vals[2] + vals[3] == pytest.approx(1.0)
+        out.sum().backward()  # gradient of a constant-per-segment sum ~ 0
+        assert np.allclose(scores.grad, 0.0, atol=1e-10)
+
+    def test_gather_rows(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(4, 3), requires_grad=True)
+        out = gather_rows(x, np.array([3, 1]))
+        assert np.allclose(out.numpy(), [[9, 10, 11], [3, 4, 5]])
+
+    def test_reshape_and_transpose_roundtrip_grads(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        y = x.reshape(3, 2).transpose()
+        assert y.shape == (2, 3)
+        y.sum().backward()
+        assert np.allclose(x.grad, np.ones((2, 3)))
+
+    def test_detach_stops_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x.detach() * 3.0
+        assert not y.requires_grad

@@ -1,0 +1,55 @@
+"""Package-level consistency tests: imports, __all__, version, registry."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.nn",
+    "repro.graph",
+    "repro.gnn",
+    "repro.ml",
+    "repro.data",
+    "repro.causal",
+    "repro.core",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.experiments",
+]
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_top_level_exports(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+    def test_baseline_registry_complete(self):
+        from repro.baselines import available_baselines
+
+        assert len(available_baselines()) == 8
+
+    def test_paper_hyperparameters_documented(self):
+        """The defaults must stay pinned to the paper's Sec. V-A3 values."""
+        from repro.core import DSSDDIConfig
+
+        cfg = DSSDDIConfig()
+        assert (cfg.ddi.learning_rate, cfg.md.learning_rate) == (0.001, 0.01)
+        assert (cfg.ddi.epochs, cfg.md.epochs) == (400, 1000)
+        assert cfg.md.delta == 1.0
+        assert cfg.ms.alpha == 0.5
