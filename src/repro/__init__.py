@@ -17,17 +17,21 @@ Package layout (see DESIGN.md for the full inventory):
 * ``repro.baselines`` -- UserSim, ECC, SVM, GCMC, LightGCN, SafeDrug,
   Bipar-GCN, CauseRec
 * ``repro.metrics`` -- Precision/Recall/NDCG@k, SS@k, similarity analysis
+* ``repro.serving`` -- model persistence + the batched SuggestionService
 * ``repro.experiments`` -- regeneration harness for every table and figure
 """
 
 from .core import DSSDDI, DSSDDIConfig
 from .data import generate_chronic_cohort, generate_ddi, generate_mimic, split_patients
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .serving import SuggestionService  # noqa: E402  (needs __version__)
 
 __all__ = [
     "DSSDDI",
     "DSSDDIConfig",
+    "SuggestionService",
     "generate_chronic_cohort",
     "generate_ddi",
     "generate_mimic",

@@ -13,10 +13,11 @@ from .config import (
     DSSDDIConfig,
     MDGCNConfig,
     MSConfig,
+    ServingConfig,
 )
 from .ddi_module import DDIModule, DDITrainingLog
 from .md_module import MDModule, MDTrainingLog
-from .ms_module import Explanation, MSModule
+from .ms_module import Explanation, MSModule, canonical_suggestion
 from .rerank import RerankConfig, antagonism_count, rerank_topk
 from .system import DSSDDI, FitReport
 
@@ -26,6 +27,7 @@ __all__ = [
     "DDIGCNConfig",
     "MDGCNConfig",
     "MSConfig",
+    "ServingConfig",
     "DSSDDIConfig",
     "DDIModule",
     "DDITrainingLog",
@@ -33,6 +35,7 @@ __all__ = [
     "MDTrainingLog",
     "MSModule",
     "Explanation",
+    "canonical_suggestion",
     "DSSDDI",
     "FitReport",
     "RerankConfig",

@@ -7,15 +7,37 @@ hidden size 64, LeakyReLU after the FC layers, 2 MDGCN propagation layers,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
 
 BACKBONES = ("gin", "sgcn", "sigat", "snea")
 DRUG_EMBEDDING_MODES = ("ddigcn", "onehot", "kg", "none")
 
 
+class _SerializableConfig:
+    """JSON round-trip mixin shared by the flat config dataclasses.
+
+    Used by the serving artifact format: every config must survive
+    ``from_dict(to_dict())`` exactly so a reloaded system validates and
+    scores identically to the one that was saved.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (field name -> value)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "_SerializableConfig":
+        """Rebuild from :meth:`to_dict` output; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+        return cls(**data)
+
+
 @dataclass
-class DDIGCNConfig:
+class DDIGCNConfig(_SerializableConfig):
     """DDI-module hyperparameters (Sec. IV-A / V-A3)."""
 
     backbone: str = "sgcn"
@@ -40,7 +62,7 @@ class DDIGCNConfig:
 
 
 @dataclass
-class MDGCNConfig:
+class MDGCNConfig(_SerializableConfig):
     """MD-module hyperparameters (Sec. IV-B / V-A3)."""
 
     hidden_dim: int = 64
@@ -75,7 +97,7 @@ class MDGCNConfig:
 
 
 @dataclass
-class MSConfig:
+class MSConfig(_SerializableConfig):
     """MS-module hyperparameters (Sec. IV-C)."""
 
     alpha: float = 0.5  # SS balance (Eq. 19)
@@ -89,17 +111,81 @@ class MSConfig:
 
 
 @dataclass
+class ServingConfig(_SerializableConfig):
+    """Serving-time knobs for :class:`repro.serving.SuggestionService`.
+
+    Attributes:
+        explanation_cache_size: LRU capacity for MS-module explanations,
+            keyed on the sorted suggestion tuple (0 disables caching).
+        default_k: suggestion size used when a request omits ``k``.
+        rerank: route suggestions through the DDI-aware greedy re-ranker
+            (:func:`repro.core.rerank_topk`) instead of plain score top-k.
+        synergy_bonus / antagonism_penalty / hard_exclude: the re-ranker
+            knobs, mirroring :class:`repro.core.RerankConfig`.
+    """
+
+    explanation_cache_size: int = 1024
+    default_k: int = 3
+    rerank: bool = False
+    synergy_bonus: float = 0.05
+    antagonism_penalty: float = 0.2
+    hard_exclude: bool = False
+
+    def validate(self) -> None:
+        if self.explanation_cache_size < 0:
+            raise ValueError("explanation_cache_size must be >= 0")
+        if self.default_k < 1:
+            raise ValueError("default_k must be >= 1")
+        if self.synergy_bonus < 0 or self.antagonism_penalty < 0:
+            raise ValueError("bonus and penalty must be non-negative")
+
+
+@dataclass
 class DSSDDIConfig:
-    """Top-level configuration bundling the three modules."""
+    """Top-level configuration bundling the three modules plus serving.
+
+    Serializes to/from plain JSON via :meth:`to_dict` / :meth:`from_dict`;
+    the serving artifact stores this dict verbatim so a loaded system runs
+    under the exact configuration it was trained with.
+    """
 
     ddi: DDIGCNConfig = field(default_factory=DDIGCNConfig)
     md: MDGCNConfig = field(default_factory=MDGCNConfig)
     ms: MSConfig = field(default_factory=MSConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     def validate(self) -> None:
         self.ddi.validate()
         self.md.validate()
         self.ms.validate()
+        self.serving.validate()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-JSON representation of all four sections."""
+        return {
+            "ddi": self.ddi.to_dict(),
+            "md": self.md.to_dict(),
+            "ms": self.ms.to_dict(),
+            "serving": self.serving.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DSSDDIConfig":
+        """Rebuild from :meth:`to_dict` output.
+
+        The ``serving`` section is optional so artifacts written before it
+        existed keep loading with default serving knobs.
+        """
+        known = {"ddi", "md", "ms", "serving"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown DSSDDIConfig sections: {sorted(unknown)}")
+        return cls(
+            ddi=DDIGCNConfig.from_dict(data.get("ddi", {})),
+            md=MDGCNConfig.from_dict(data.get("md", {})),
+            ms=MSConfig.from_dict(data.get("ms", {})),
+            serving=ServingConfig.from_dict(data.get("serving", {})),
+        )
 
     @classmethod
     def fast(cls, backbone: str = "sgcn") -> "DSSDDIConfig":

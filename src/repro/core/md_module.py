@@ -25,7 +25,7 @@ every drug.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from ..nn import (
     Adam,
     Linear,
     MLP,
+    Module,
     Tensor,
     bce_with_logits,
     concat,
@@ -272,21 +273,31 @@ class MDModule:
         self._require_fitted()
         x = np.asarray(patient_features, dtype=np.float64)
         clusters = self._kmeans.predict(x)
-        # Per-cluster drug exposure from the observed data.
+        cluster_drugs, synergy = self._treatment_factors()
+        treatment = cluster_drugs[clusters]
+        propagated = (treatment @ synergy) > 0
+        return np.maximum(treatment, propagated.astype(np.int64))
+
+    def _treatment_factors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The two fixed factors of :meth:`treatment_for`.
+
+        Returns the per-cluster drug exposure (K, n) from the observed
+        data and the (n, n) synergy adjacency.  Shared with
+        :meth:`scoring_state` so the serving path derives treatments from
+        the exact same arrays.
+        """
         n = self._y_train.shape[1]
         cluster_drugs = np.zeros((self._kmeans.centers.shape[0], n), dtype=np.int64)
         for c in range(self._kmeans.centers.shape[0]):
             members = self._kmeans.labels == c
             if members.any():
                 cluster_drugs[c] = self._y_train[members].max(axis=0)
-        treatment = cluster_drugs[clusters]
         synergy = np.zeros((n, n))
         for u, v, sign in self._ddi_graph.edges_with_signs():
             if sign == 1:
                 synergy[u, v] = 1.0
                 synergy[v, u] = 1.0
-        propagated = (treatment @ synergy) > 0
-        return np.maximum(treatment, propagated.astype(np.int64))
+        return cluster_drugs, synergy
 
     def predict_scores(self, patient_features: np.ndarray) -> np.ndarray:
         """Suggestion scores for every drug, per patient (sigmoid probs)."""
@@ -323,6 +334,160 @@ class MDModule:
         self._require_fitted()
         _, h_drugs = self._encode(Tensor(self._x_train), Tensor(self._z_drugs))
         return h_drugs.numpy()
+
+    # ------------------------------------------------------------------
+    # Persistence hooks (used by repro.serving.artifact)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, np.ndarray]:
+        """All fitted state as a flat ``name -> ndarray`` dict (npz-ready).
+
+        Together with the config and the DDI graph this is sufficient to
+        rebuild a module whose :meth:`predict_scores` is bitwise identical
+        to this one — see :meth:`from_state`.
+        """
+        self._require_fitted()
+        state: Dict[str, np.ndarray] = {
+            "x_train": self._x_train,
+            "y_train": self._y_train,
+            "z_drugs": self._z_drugs,
+            "treatment": self._treatment,
+            "kmeans.centers": self._kmeans.centers,
+            "kmeans.labels": self._kmeans.labels,
+            "kmeans.inertia": np.float64(self._kmeans.inertia),
+            "kmeans.iterations": np.int64(self._kmeans.iterations),
+            "propagation.layer_weights": np.asarray(
+                self._propagation.layer_weights, dtype=np.float64
+            ),
+        }
+        for prefix, module in self._weight_modules().items():
+            for name, value in module.state_dict().items():
+                state[f"{prefix}.{name}"] = value
+        if self._ddi_embeddings is not None:
+            state["ddi_embeddings"] = self._ddi_embeddings
+        return state
+
+    @classmethod
+    def from_state(
+        cls,
+        config: MDGCNConfig,
+        state: Dict[str, np.ndarray],
+        ddi_graph: SignedGraph,
+    ) -> "MDModule":
+        """Rebuild a fitted module from :meth:`export_state` output.
+
+        No training happens: layer shapes are inferred from the stored
+        weights, the weights are loaded verbatim, and the propagation
+        matrices are recomputed (deterministically) from the stored
+        medication-use matrix.
+        """
+        module = cls(config)
+        cfg = module.config
+        rng = np.random.default_rng(cfg.seed)  # overwritten by the loads below
+
+        module._x_train = np.asarray(state["x_train"], dtype=np.float64)
+        module._y_train = np.asarray(state["y_train"], dtype=np.int64)
+        module._z_drugs = np.asarray(state["z_drugs"], dtype=np.float64)
+        module._treatment = np.asarray(state["treatment"], dtype=np.int64)
+        module._ddi_graph = ddi_graph
+        ddi_embeddings = state.get("ddi_embeddings")
+        module._ddi_embeddings = (
+            np.asarray(ddi_embeddings, dtype=np.float64)
+            if ddi_embeddings is not None
+            else None
+        )
+        module._kmeans = KMeansResult(
+            centers=np.asarray(state["kmeans.centers"], dtype=np.float64),
+            labels=np.asarray(state["kmeans.labels"], dtype=np.int64),
+            inertia=float(state["kmeans.inertia"]),
+            iterations=int(state["kmeans.iterations"]),
+        )
+
+        layer_weights = np.asarray(state["propagation.layer_weights"]).tolist()
+        module._propagation = LightGCNPropagation(cfg.num_layers, layer_weights)
+
+        def shape(name: str) -> Tuple[int, ...]:
+            return np.asarray(state[name]).shape
+
+        hidden = shape("patient_fc.weight")[1]
+        module._patient_fc = Linear(shape("patient_fc.weight")[0], hidden, rng)
+        module._drug_fc = Linear(shape("drug_fc.weight")[0], hidden, rng)
+        decoder_sizes = [shape("decoder.layer0.weight")[0]]
+        layer = 0
+        while f"decoder.layer{layer}.weight" in state:
+            decoder_sizes.append(shape(f"decoder.layer{layer}.weight")[1])
+            layer += 1
+        module._decoder = MLP(decoder_sizes, rng, activation="relu")
+        module._ddi_adapter = (
+            Linear(shape("ddi_adapter.weight")[0], hidden, rng, bias=False)
+            if "ddi_adapter.weight" in state
+            else None
+        )
+        for prefix, weight_module in module._weight_modules().items():
+            weight_module.load_state_dict(
+                {
+                    name[len(prefix) + 1 :]: value
+                    for name, value in state.items()
+                    if name.startswith(prefix + ".")
+                }
+            )
+
+        graph = BipartiteGraph.from_matrix(module._y_train)
+        module._p2d, module._d2p = bipartite_propagation(graph)
+        module._fitted = True
+        return module
+
+    def _weight_modules(self) -> Dict[str, Module]:
+        """The trainable submodules, keyed by their persistence prefix."""
+        modules = {
+            "patient_fc": self._patient_fc,
+            "drug_fc": self._drug_fc,
+            "decoder": self._decoder,
+        }
+        if self._ddi_adapter is not None:
+            modules["ddi_adapter"] = self._ddi_adapter
+        return modules
+
+    def scoring_state(self) -> Dict[str, object]:
+        """Frozen arrays for serving-time vectorized scoring.
+
+        Returns everything :class:`repro.serving.BatchScorer` needs to
+        reproduce :meth:`predict_scores` without re-encoding the training
+        set on every request:
+
+        * ``patient_weight`` / ``patient_bias``: the Eq. 9 FC layer.
+        * ``drug_reps``: the final drug representations h'_v (fixed after
+          training — Eq. 10-13 plus the DDI addition).
+        * ``decoder_weights`` / ``decoder_biases``: the Eq. 14 MLP, applied
+          with ReLU between hidden layers and a linear output.
+        * ``cluster_drugs``: per-cluster drug exposure (K, n) from the
+          observed data, and ``synergy``: the (n, n) synergy adjacency —
+          the two fixed factors of :meth:`treatment_for`.
+        """
+        self._require_fitted()
+        cluster_drugs, synergy = self._treatment_factors()
+        return {
+            "patient_weight": self._patient_fc.weight.data.copy(),
+            "patient_bias": (
+                self._patient_fc.bias.data.copy()
+                if self._patient_fc.bias is not None
+                else np.zeros(self._patient_fc.out_features)
+            ),
+            "drug_reps": self.drug_representations(),
+            "decoder_weights": [
+                layer.weight.data.copy() for layer in self._decoder.layers
+            ],
+            "decoder_biases": [
+                (
+                    layer.bias.data.copy()
+                    if layer.bias is not None
+                    else np.zeros(layer.out_features)
+                )
+                for layer in self._decoder.layers
+            ],
+            "kmeans": self._kmeans,
+            "cluster_drugs": cluster_drugs,
+            "synergy": synergy,
+        }
 
     def _require_fitted(self) -> None:
         if not self._fitted:

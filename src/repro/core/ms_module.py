@@ -17,12 +17,33 @@ from ..metrics import SatisfactionBreakdown, suggestion_satisfaction
 from .config import MSConfig
 
 
+def canonical_suggestion(suggested: Sequence[int]) -> Tuple[int, ...]:
+    """Normalize a suggestion to a sorted, duplicate-free id tuple.
+
+    Explanations depend only on the *set* of suggested drugs, never on
+    their ranking order or on the patient, so this tuple is the cache key
+    used by :class:`repro.serving.SuggestionService` — two patients with
+    the same suggested set share one cached explanation.
+    """
+    key = tuple(sorted(set(int(s) for s in suggested)))
+    if not key:
+        raise ValueError("need at least one suggested drug")
+    return key
+
+
 @dataclass
 class Explanation:
-    """Doctor-facing explanation of a medication suggestion.
+    """Doctor-facing explanation of a medication suggestion (Definition 4).
+
+    Produced by :meth:`MSModule.explain` (Algorithm 1: truss decomposition
+    + Steiner tree + bulk/shrink around the suggested drugs); consumed
+    either programmatically (the attribute lists) or as the rendered
+    Fig. 8-style text from :meth:`render`.  An explanation is a pure
+    function of the suggested drug *set*, which is what makes it cacheable
+    across patients.
 
     Attributes:
-        suggested: the k suggested drug ids.
+        suggested: the k suggested drug ids (sorted, duplicate-free).
         community: all drugs in the closest dense subgraph.
         synergy_within: synergistic pairs among the suggested drugs.
         antagonism_within: antagonistic pairs among the suggested drugs
@@ -31,6 +52,14 @@ class Explanation:
             non-suggested community drug (drugs the system steered around).
         satisfaction: the SS breakdown (Eq. 19).
         drug_names: optional id -> name mapping for rendering.
+
+    Example::
+
+        explanation = system.explain([46, 47])
+        print(explanation.render())
+        # Suggestion: Simvastatin, Atorvastatin
+        # Suggestion Satisfaction: 0.83..
+        # Synergism: ...
     """
 
     suggested: List[int]
@@ -70,12 +99,23 @@ class Explanation:
 
 
 class MSModule:
-    """Explanation generator over a signed DDI graph."""
+    """Explanation generator over a signed DDI graph.
 
-    def __init__(self, ddi: SignedGraph, config: Optional[MSConfig] = None) -> None:
+    ``drug_names`` given at construction become the default rendering
+    names, making :meth:`explain` a pure function of the suggested drug
+    set — the property the serving layer's explanation cache relies on.
+    """
+
+    def __init__(
+        self,
+        ddi: SignedGraph,
+        config: Optional[MSConfig] = None,
+        drug_names: Optional[Dict[int, str]] = None,
+    ) -> None:
         self.config = config or MSConfig()
         self.config.validate()
         self.ddi = ddi
+        self.drug_names = dict(drug_names) if drug_names else {}
         self._unsigned = ddi.to_unsigned()
 
     def query_subgraph(self, suggested: Sequence[int]) -> Optional[CTCResult]:
@@ -89,10 +129,12 @@ class MSModule:
         suggested: Sequence[int],
         drug_names: Optional[Dict[int, str]] = None,
     ) -> Explanation:
-        """Produce the full explanation for a suggestion."""
-        suggested = sorted(set(int(s) for s in suggested))
-        if not suggested:
-            raise ValueError("need at least one suggested drug")
+        """Produce the full explanation for a suggestion.
+
+        ``drug_names`` overrides the module-level default mapping for this
+        call only.
+        """
+        suggested = list(canonical_suggestion(suggested))
         community = self.query_subgraph(suggested)
         if community is None:
             members = set(suggested)
@@ -127,5 +169,5 @@ class MSModule:
             antagonism_within=antagonism_within,
             antagonism_avoided=antagonism_avoided,
             satisfaction=satisfaction,
-            drug_names=drug_names or {},
+            drug_names=drug_names if drug_names is not None else self.drug_names,
         )

@@ -7,10 +7,15 @@ Wires the three modules together behind a scikit-learn-style API:
     suggestions = system.suggest(x_new, k=3)      # ranked drug ids
     explanation = system.explain(suggestions[0])  # MS-module output
     scores = system.predict_scores(x_test)        # raw score matrix
+    system.save("model_dir")                      # fit once ...
+    system = DSSDDI.load("model_dir")             # ... serve many
 
 Drug original features follow the Table II ablation switch in the MD
 config: DRKG TransE embeddings ("kg", the paper's default input), one-hot
 ("onehot"), or the DDIGCN relation embeddings themselves ("ddigcn").
+
+For request-oriented serving (batched scoring, explanation caching) wrap
+a fitted or loaded system in :class:`repro.serving.SuggestionService`.
 """
 
 from __future__ import annotations
@@ -38,7 +43,26 @@ class FitReport:
 
 
 class DSSDDI:
-    """The decision support system of the paper (Definition 1)."""
+    """The decision support system of the paper (Definition 1).
+
+    Train once, then either score in-process or persist the fitted state
+    and serve it through :class:`repro.serving.SuggestionService`::
+
+        system = DSSDDI(DSSDDIConfig.fast())
+        system.fit(x_train, y_train, ddi_dataset)
+
+        suggestions = system.suggest(x_new, k=3)       # ranked drug ids
+        explanation = system.explain(suggestions[0])   # MS-module output
+        scores = system.predict_scores(x_test)         # raw score matrix
+
+        system.save("model_dir")                       # .npz + JSON artifact
+        reloaded = DSSDDI.load("model_dir")            # scores bitwise-equal
+
+    A loaded system restores the full serving surface (``predict_scores``,
+    ``suggest``, ``explain``, ``suggest_and_explain``, the representation
+    accessors) but not the DDIGCN training state: ``ddi_module`` is None
+    until :meth:`fit` is called again.
+    """
 
     def __init__(
         self,
@@ -53,6 +77,7 @@ class DSSDDI:
         self.ddi_module: Optional[DDIModule] = None
         self.md_module: Optional[MDModule] = None
         self.ms_module: Optional[MSModule] = None
+        self._ddi_data: Optional[DDIDataset] = None
         self._drug_names: Dict[int, str] = {}
         self._fitted = False
 
@@ -80,6 +105,7 @@ class DSSDDI:
         """
         cfg = self.config
         n_drugs = ddi.graph.num_nodes
+        self._ddi_data = ddi
         self._drug_names = drug_names(ddi.catalog)
 
         # Table II ablation: the mode selects which embedding is *added* to
@@ -122,9 +148,60 @@ class DSSDDI:
             ddi_embeddings,
             num_clusters=num_clusters,
         )
-        self.ms_module = MSModule(ddi.graph, cfg.ms)
+        self.ms_module = MSModule(ddi.graph, cfg.ms, drug_names=self._drug_names)
         self._fitted = True
         return FitReport(ddi_log=ddi_log, md_log=md_log)
+
+    # ------------------------------------------------------------------
+    # Persistence (fit once, serve many — see repro.serving)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialize all fitted state to an ``.npz`` + JSON artifact.
+
+        ``path`` becomes a directory holding ``manifest.json`` (config,
+        catalog, format version) and ``arrays.npz`` (model weights, fitted
+        K-means, treatment machinery, DDI graph edges).  Reload with
+        :meth:`DSSDDI.load` or serve directly with
+        ``repro.serving.SuggestionService.load(path)``.
+        """
+        self._require_fitted()
+        from ..serving.artifact import save_artifact
+
+        save_artifact(self, path)
+
+    @classmethod
+    def load(cls, path) -> "DSSDDI":
+        """Rebuild a fitted system from a :meth:`save` artifact.
+
+        The restored system's :meth:`predict_scores` is bitwise identical
+        to the saved one's; no retraining or RNG is involved.
+        """
+        from ..serving.artifact import load_system
+
+        return load_system(path)
+
+    @classmethod
+    def _from_artifact(
+        cls,
+        config: DSSDDIConfig,
+        md_module: MDModule,
+        ddi_data: DDIDataset,
+    ) -> "DSSDDI":
+        """Assemble a fitted system from deserialized parts (no training)."""
+        system = cls(config)
+        system.md_module = md_module
+        system._ddi_data = ddi_data
+        system._drug_names = drug_names(ddi_data.catalog)
+        system.ms_module = MSModule(
+            ddi_data.graph, config.ms, drug_names=system._drug_names
+        )
+        system._fitted = True
+        return system
+
+    @property
+    def ddi_data(self) -> Optional[DDIDataset]:
+        """The DDI dataset the system was fitted on (graph + catalog)."""
+        return self._ddi_data
 
     # ------------------------------------------------------------------
     def predict_scores(self, patient_features: np.ndarray) -> np.ndarray:

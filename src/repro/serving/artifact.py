@@ -1,0 +1,130 @@
+"""Model persistence: the ``.npz`` + JSON artifact format.
+
+An artifact is a directory with exactly two files:
+
+* ``manifest.json`` — format version, library version, the full
+  :class:`repro.core.DSSDDIConfig` (all four sections), the drug catalog
+  (id, name, disease per drug), and bookkeeping such as the stored array
+  names.  Everything human-readable lives here.
+* ``arrays.npz`` — every numeric array of the fitted state: MDGCN weights
+  (patient/drug FC, decoder MLP, DDI adapter), the DDIGCN relation
+  embeddings added to the drug representations, the fitted K-means
+  clustering, the treatment matrix, the training matrices the LightGCN
+  propagation is defined over, and the signed DDI graph edge list.
+
+Restoring involves no randomness or retraining, so a loaded system's
+``predict_scores`` is bitwise identical to the saved one's.  The DDIGCN
+*training* state (encoder weights) is deliberately not stored: serving
+only needs the final embeddings, which travel inside the MD state.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .. import __version__ as _repro_version
+from ..core.config import DSSDDIConfig
+from ..core.md_module import MDModule
+from ..core.system import DSSDDI
+from ..data.catalog import Drug
+from ..data.ddi import DDIDataset
+from ..graph import SignedGraph
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+_MD_PREFIX = "md."
+_EDGES_KEY = "ddi.edges"
+
+PathLike = Union[str, Path]
+
+
+def save_artifact(system: DSSDDI, path: PathLike) -> Path:
+    """Write a fitted system to ``path`` (created as a directory).
+
+    Returns the artifact directory.  Overwrites an existing artifact at
+    the same location.
+    """
+    if system.md_module is None or system.ddi_data is None:
+        raise RuntimeError("cannot save an unfitted DSSDDI")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {
+        _MD_PREFIX + name: np.asarray(value)
+        for name, value in system.md_module.export_state().items()
+    }
+    graph = system.ddi_data.graph
+    edges = sorted(graph.edges_with_signs())
+    arrays[_EDGES_KEY] = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "repro_version": _repro_version,
+        "config": system.config.to_dict(),
+        "num_drugs": graph.num_nodes,
+        "catalog": [
+            {"did": d.did, "name": d.name, "disease": d.disease}
+            for d in system.ddi_data.catalog
+        ],
+        "arrays": sorted(arrays),
+    }
+    with open(path / MANIFEST_NAME, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+    np.savez(path / ARRAYS_NAME, **arrays)
+    return path
+
+
+def load_system(path: PathLike) -> DSSDDI:
+    """Rebuild a fitted :class:`repro.core.DSSDDI` from an artifact."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    arrays_path = path / ARRAYS_NAME
+    if not manifest_path.is_file() or not arrays_path.is_file():
+        raise FileNotFoundError(
+            f"no DSSDDI artifact at {path} (expected {MANIFEST_NAME} "
+            f"and {ARRAYS_NAME})"
+        )
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported artifact format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+
+    config = DSSDDIConfig.from_dict(manifest["config"])
+    config.validate()
+
+    with np.load(arrays_path) as loaded:
+        arrays = {name: loaded[name] for name in loaded.files}
+
+    num_drugs = int(manifest["num_drugs"])
+    edges = arrays[_EDGES_KEY].reshape(-1, 3)
+    graph = SignedGraph.from_signed_edges(
+        num_drugs, ((int(u), int(v), int(s)) for u, v, s in edges)
+    )
+    catalog = [
+        Drug(did=int(e["did"]), name=str(e["name"]), disease=str(e["disease"]))
+        for e in manifest["catalog"]
+    ]
+    ddi_data = DDIDataset(
+        graph=graph,
+        synergy=graph.edges_of_sign(1),
+        antagonism=graph.edges_of_sign(-1),
+        catalog=catalog,
+    )
+
+    md_state = {
+        name[len(_MD_PREFIX) :]: value
+        for name, value in arrays.items()
+        if name.startswith(_MD_PREFIX)
+    }
+    md_module = MDModule.from_state(config.md, md_state, graph)
+    return DSSDDI._from_artifact(config, md_module, ddi_data)

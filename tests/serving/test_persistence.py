@@ -1,0 +1,142 @@
+"""Persistence round-trip: save/load must reproduce the fitted system."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DSSDDI, DSSDDIConfig, Explanation
+from repro.data import generate_chronic_cohort, split_patients, standardize_features
+from repro.metrics import SatisfactionBreakdown
+from repro.serving import FORMAT_VERSION, load_system
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    cohort = generate_chronic_cohort(num_patients=120, seed=5)
+    x = standardize_features(cohort.features)
+    split = split_patients(120, seed=1)
+    cfg = DSSDDIConfig.fast()
+    cfg.ddi.epochs = 10
+    cfg.md.epochs = 30
+    system = DSSDDI(cfg)
+    system.fit(x[split.train], cohort.medications[split.train], cohort.ddi)
+    return system, x[split.test], cohort
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(fitted, tmp_path_factory):
+    system, _x_test, _cohort = fitted
+    path = tmp_path_factory.mktemp("artifacts") / "model"
+    system.save(path)
+    return path
+
+
+class TestRoundTrip:
+    def test_scores_bitwise_equal(self, fitted, artifact_dir):
+        system, x_test, _ = fitted
+        loaded = DSSDDI.load(artifact_dir)
+        assert np.array_equal(
+            system.predict_scores(x_test), loaded.predict_scores(x_test)
+        )
+
+    def test_suggestions_and_representations_survive(self, fitted, artifact_dir):
+        system, x_test, cohort = fitted
+        loaded = DSSDDI.load(artifact_dir)
+        assert loaded.suggest(x_test[:4], k=3) == system.suggest(x_test[:4], k=3)
+        assert np.array_equal(
+            loaded.drug_representations(), system.drug_representations()
+        )
+        assert np.array_equal(
+            loaded.patient_representations(x_test),
+            system.patient_representations(x_test),
+        )
+        assert loaded.ddi_data.graph.num_nodes == cohort.num_drugs
+
+    def test_explanations_survive_with_names(self, fitted, artifact_dir):
+        system, _x_test, _ = fitted
+        loaded = DSSDDI.load(artifact_dir)
+        suggestion = [46, 47]  # Simvastatin + Atorvastatin (pinned synergy)
+        assert loaded.explain(suggestion).render() == system.explain(
+            suggestion
+        ).render()
+        assert "Simvastatin" in loaded.explain(suggestion).render()
+
+    def test_config_round_trip(self, fitted, artifact_dir):
+        system, _x_test, _ = fitted
+        loaded = DSSDDI.load(artifact_dir)
+        assert loaded.config.to_dict() == system.config.to_dict()
+
+    def test_save_load_save_is_stable(self, fitted, artifact_dir, tmp_path):
+        _system, x_test, _ = fitted
+        loaded = DSSDDI.load(artifact_dir)
+        loaded.save(tmp_path / "again")
+        again = DSSDDI.load(tmp_path / "again")
+        assert np.array_equal(
+            loaded.predict_scores(x_test), again.predict_scores(x_test)
+        )
+
+
+class TestArtifactErrors:
+    def test_unfitted_save_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            DSSDDI(DSSDDIConfig.fast()).save(tmp_path / "nope")
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DSSDDI.load(tmp_path / "missing")
+
+    def test_version_mismatch_raises(self, artifact_dir, tmp_path):
+        clone = tmp_path / "future"
+        clone.mkdir()
+        manifest = json.loads((artifact_dir / "manifest.json").read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        (clone / "manifest.json").write_text(json.dumps(manifest))
+        (clone / "arrays.npz").write_bytes(
+            (artifact_dir / "arrays.npz").read_bytes()
+        )
+        with pytest.raises(ValueError, match="format version"):
+            load_system(clone)
+
+
+class TestExplanationGolden:
+    def test_render_golden_string(self):
+        explanation = Explanation(
+            suggested=[0, 1],
+            community=[0, 1, 2, 3],
+            synergy_within=[(0, 1)],
+            antagonism_within=[],
+            antagonism_avoided=[(1, 2)],
+            satisfaction=SatisfactionBreakdown(
+                value=0.625, r_in_pos=1, r_in_neg=0, r_out_neg=1,
+                subgraph_nodes=4, k=2,
+            ),
+            drug_names={0: "Perindopril", 1: "Indapamide", 2: "Theophylline"},
+        )
+        assert explanation.render() == (
+            "Suggestion: Perindopril, Indapamide\n"
+            "Suggestion Satisfaction: 0.6250\n"
+            "Synergism:\n"
+            "  Perindopril and Indapamide\n"
+            "Antagonism (avoided non-suggested drugs):\n"
+            "  Indapamide and Theophylline"
+        )
+
+    def test_render_warns_on_internal_antagonism_and_unknown_names(self):
+        explanation = Explanation(
+            suggested=[4, 7],
+            community=[4, 7],
+            synergy_within=[],
+            antagonism_within=[(4, 7)],
+            antagonism_avoided=[],
+            satisfaction=SatisfactionBreakdown(
+                value=0.1, r_in_pos=0, r_in_neg=1, r_out_neg=0,
+                subgraph_nodes=2, k=2,
+            ),
+        )
+        assert explanation.render() == (
+            "Suggestion: drug 4, drug 7\n"
+            "Suggestion Satisfaction: 0.1000\n"
+            "WARNING - antagonism inside the suggestion:\n"
+            "  drug 4 and drug 7"
+        )

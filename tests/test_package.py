@@ -16,13 +16,14 @@ SUBPACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.metrics",
+    "repro.serving",
     "repro.experiments",
 ]
 
 
 class TestPackage:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     @pytest.mark.parametrize("name", SUBPACKAGES)
     def test_subpackage_imports(self, name):
