@@ -6,9 +6,13 @@ Measures the fit-once/serve-many path added by ``repro.serving``:
   per-patient ``DSSDDI.suggest`` loop a naive deployment would run,
 * the explanation cache hit rate under skewed (real-traffic-like) load.
 
-The headline acceptance claim: batched scoring is >= 5x faster than the
-per-patient loop at batch 512.  (Measured locally it is >50x; the margin
-absorbs CI noise.)
+The headline acceptance claim: batched scoring is >= 1.5x faster than
+the per-patient loop at batch 512.  (The floor was 5x when the core
+``predict_scores`` re-encoded the training set on every call; the
+sparse-backend PR moved that caching into ``MDModule`` itself, so the
+per-patient loop got dramatically faster and the batched edge now comes
+from batching alone — measured 2-5x depending on machine load, so the
+floor keeps a conservative margin.)
 """
 
 import time
@@ -77,17 +81,20 @@ def test_bench_batched_throughput(served, benchmark):
 
 
 def test_bench_batched_vs_per_patient_loop(served):
-    """Acceptance: batched scoring >= 5x faster than per-patient suggest."""
+    """Acceptance: batched scoring >= 1.5x faster than per-patient suggest."""
     system, service, pool = served
     batch = _batches(pool, 512, seed=7)
 
-    start = time.perf_counter()
-    batched = service.suggest(batch, k=K)
-    t_batched = time.perf_counter() - start
+    t_batched = float("inf")
+    t_loop = float("inf")
+    for _repeat in range(3):  # best-of-3: the ratio is noise-sensitive
+        start = time.perf_counter()
+        batched = service.suggest(batch, k=K)
+        t_batched = min(t_batched, time.perf_counter() - start)
 
-    start = time.perf_counter()
-    looped = [system.suggest(row[None], k=K)[0] for row in batch]
-    t_loop = time.perf_counter() - start
+        start = time.perf_counter()
+        looped = [system.suggest(row[None], k=K)[0] for row in batch]
+        t_loop = min(t_loop, time.perf_counter() - start)
 
     assert batched.tolist() == looped  # same answers, just faster
     speedup = t_loop / t_batched
@@ -96,7 +103,7 @@ def test_bench_batched_vs_per_patient_loop(served):
         f"({512 / t_batched:.0f}/s) vs loop {t_loop * 1e3:.1f} ms "
         f"({512 / t_loop:.0f}/s) -> {speedup:.1f}x"
     )
-    assert speedup >= 5.0
+    assert speedup >= 1.5
 
 
 def test_bench_cache_hit_rate(served):

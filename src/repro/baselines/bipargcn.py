@@ -30,11 +30,13 @@ class BiparGCN(Recommender):
         epochs: int = 150,
         learning_rate: float = 0.01,
         seed: int = 0,
+        propagation_backend: str = "auto",
     ) -> None:
         self.hidden_dim = hidden_dim
         self.epochs = epochs
         self.learning_rate = learning_rate
         self.seed = seed
+        self.propagation_backend = propagation_backend
         self._fitted = False
 
     def fit(self, features: np.ndarray, medication_use: np.ndarray) -> "BiparGCN":
@@ -56,9 +58,11 @@ class BiparGCN(Recommender):
         # Drug-oriented tower: self + aggregated patient messages.
         self._drug_tower = Linear(2 * hidden, hidden, rng)
 
-        # Row-normalized aggregation matrices (mean over neighbours).
-        self._p_agg = mean_adjacency(y.astype(np.float64))          # (m, n)
-        self._d_agg = mean_adjacency(y.T.astype(np.float64))        # (n, m)
+        # Row-normalized aggregation matrices (mean over neighbours),
+        # dense or CSR per the propagation backend policy.
+        backend = self.propagation_backend
+        self._p_agg = mean_adjacency(y.astype(np.float64), backend)   # (m, n)
+        self._d_agg = mean_adjacency(y.T.astype(np.float64), backend)  # (n, m)
 
         params = (
             self._patient_in.parameters()

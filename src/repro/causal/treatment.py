@@ -22,8 +22,10 @@ from typing import Optional
 
 import numpy as np
 
+from ..gnn import synergy_adjacency
 from ..graph import SignedGraph
 from ..ml import kmeans
+from ..nn import sparse as sparse_backend
 
 
 @dataclass
@@ -50,6 +52,7 @@ def build_treatment(
     num_clusters: int,
     seed: int = 0,
     clusters: Optional[np.ndarray] = None,
+    backend: Optional[str] = None,
 ) -> TreatmentAssignment:
     """Run the three-step treatment construction.
 
@@ -61,6 +64,11 @@ def build_treatment(
             diseases in the observed data.
         seed: RNG seed for the clustering.
         clusters: pre-computed cluster labels (skips K-means when given).
+        backend: representation policy for the step-3 synergy adjacency
+            ("auto" / "dense" / "sparse"); defaults to the process-wide
+            policy.  Callers pinning a backend (e.g.
+            ``MDGCNConfig.propagation_backend``) pass it through so fit
+            and post-fit derivations use one consistent path.
     """
     features = np.asarray(features, dtype=np.float64)
     y = np.asarray(medication_use)
@@ -81,21 +89,19 @@ def build_treatment(
         clusters = np.asarray(clusters, dtype=np.int64)
         if clusters.shape[0] != m:
             raise ValueError("clusters length must match the number of patients")
-    stage2 = stage1.copy()
-    for cluster_id in np.unique(clusters):
-        members = clusters == cluster_id
-        # Any drug taken by anyone in the cluster becomes treatment-1 for all.
-        cluster_drugs = stage1[members].max(axis=0)
-        stage2[members] = np.maximum(stage2[members], cluster_drugs[None, :])
+    # Any drug taken by anyone in the cluster becomes treatment-1 for all:
+    # scatter-max per-cluster exposure, then broadcast back to the members.
+    # Labels are remapped through np.unique so arbitrary (negative,
+    # non-contiguous) caller-provided cluster ids work like the k-means ones.
+    unique_clusters, inverse = np.unique(clusters, return_inverse=True)
+    cluster_drugs = np.zeros((len(unique_clusters), y.shape[1]), dtype=np.int64)
+    np.maximum.at(cluster_drugs, inverse, stage1)
+    stage2 = np.maximum(stage1, cluster_drugs[inverse])
 
-    # Step 3: DDI propagation along synergy edges.
-    n_drugs = y.shape[1]
-    synergy = np.zeros((n_drugs, n_drugs))
-    for u, v, sign in ddi_graph.edges_with_signs():
-        if sign == 1:
-            synergy[u, v] = 1.0
-            synergy[v, u] = 1.0
-    propagated = (stage2 @ synergy) > 0
+    # Step 3: DDI propagation along synergy edges (vectorized scatter;
+    # CSR when the DDI graph is large and sparse enough for the policy).
+    synergy = synergy_adjacency(ddi_graph, backend)
+    propagated = sparse_backend.matmul(stage2, synergy) > 0
     matrix = np.maximum(stage2, propagated.astype(np.int64))
 
     return TreatmentAssignment(

@@ -12,6 +12,7 @@ from typing import Any, Dict, Optional, Tuple
 
 BACKBONES = ("gin", "sgcn", "sigat", "snea")
 DRUG_EMBEDDING_MODES = ("ddigcn", "onehot", "kg", "none")
+PROPAGATION_BACKENDS = ("auto", "dense", "sparse")
 
 
 class _SerializableConfig:
@@ -46,11 +47,19 @@ class DDIGCNConfig(_SerializableConfig):
     learning_rate: float = 0.001
     epochs: int = 400
     zero_edge_ratio: float = 1.0  # sampled "no interaction" edges per real edge
+    # Adjacency representation: "auto" applies the repro.nn.sparse density
+    # policy, "dense"/"sparse" force one path (dense = bitwise seed compat).
+    propagation_backend: str = "auto"
     seed: int = 41
 
     def validate(self) -> None:
         if self.backbone not in BACKBONES:
             raise ValueError(f"backbone must be one of {BACKBONES}, got {self.backbone!r}")
+        if self.propagation_backend not in PROPAGATION_BACKENDS:
+            raise ValueError(
+                f"propagation_backend must be one of {PROPAGATION_BACKENDS}, "
+                f"got {self.propagation_backend!r}"
+            )
         if self.hidden_dim < 2 or self.hidden_dim % 2 != 0:
             raise ValueError("hidden_dim must be an even integer >= 2")
         if self.num_layers < 1:
@@ -76,6 +85,13 @@ class MDGCNConfig(_SerializableConfig):
     gamma_d: Optional[float] = None
     num_clusters: Optional[int] = None  # default: number of chronic diseases
     use_counterfactual: bool = True
+    # Adjacency representation: "auto" applies the repro.nn.sparse density
+    # policy, "dense"/"sparse" force one path (dense = bitwise seed compat).
+    propagation_backend: str = "auto"
+    # Upper bound on (patients x drugs) decoder rows materialized at once
+    # by predict_scores; keeps the scoring intermediates bounded on large
+    # cohorts.  Small requests fit in one chunk and replay the seed path.
+    score_chunk_rows: int = 262144
     seed: int = 43
 
     def validate(self) -> None:
@@ -94,6 +110,13 @@ class MDGCNConfig(_SerializableConfig):
             raise ValueError("delta must be >= 0")
         if not 0.0 < self.gamma_quantile < 1.0:
             raise ValueError("gamma_quantile must be in (0, 1)")
+        if self.propagation_backend not in PROPAGATION_BACKENDS:
+            raise ValueError(
+                f"propagation_backend must be one of {PROPAGATION_BACKENDS}, "
+                f"got {self.propagation_backend!r}"
+            )
+        if self.score_chunk_rows < 1:
+            raise ValueError("score_chunk_rows must be >= 1")
 
 
 @dataclass

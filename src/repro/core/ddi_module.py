@@ -76,10 +76,8 @@ class DDIModule:
         self._encoder = encoder
         self._forward = forward
 
-        edges = list(train_graph.edges_with_signs())
-        src = np.array([u for u, _v, _s in edges], dtype=np.int64)
-        dst = np.array([v for _u, v, _s in edges], dtype=np.int64)
-        signs = np.array([s for _u, _v, s in edges], dtype=np.float64)
+        src, dst, sign_ints = train_graph.edge_arrays()
+        signs = sign_ints.astype(np.float64)
 
         optimizer = Adam(encoder.parameters(), lr=cfg.learning_rate)
         losses: List[float] = []
@@ -104,11 +102,15 @@ class DDIModule:
         cfg = self.config
         n = graph.num_nodes
         if cfg.backbone == "gin":
-            adjacency = interaction_mean_adjacency(graph, include_zero=True)
+            adjacency = interaction_mean_adjacency(
+                graph, include_zero=True, backend=cfg.propagation_backend
+            )
             encoder = GINEncoder(n, cfg.hidden_dim, cfg.num_layers, rng)
             return encoder, lambda x: encoder(x, adjacency)
         if cfg.backbone == "sgcn":
-            pos, neg = signed_mean_adjacencies(graph)
+            pos, neg = signed_mean_adjacencies(
+                graph, backend=cfg.propagation_backend
+            )
             encoder = SGCNEncoder(n, cfg.hidden_dim, cfg.num_layers, rng)
             return encoder, lambda x: encoder(x, pos, neg)
         if cfg.backbone == "sigat":

@@ -30,7 +30,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..causal import build_counterfactual_links, build_treatment, suggest_gammas
-from ..gnn import LightGCNPropagation, bipartite_propagation, default_layer_weights
+from ..gnn import (
+    LightGCNPropagation,
+    bipartite_propagation,
+    default_layer_weights,
+    synergy_adjacency,
+)
 from ..graph import BipartiteGraph, SignedGraph
 from ..ml import KMeansResult, kmeans
 from ..nn import (
@@ -43,6 +48,8 @@ from ..nn import (
     concat,
     gather_rows,
 )
+from ..nn import sparse as sparse_backend
+from ..nn.fused import can_fuse_pair_mlp, pair_interaction_logits
 from .config import MDGCNConfig
 
 
@@ -73,6 +80,12 @@ class MDModule:
         self.config = config or MDGCNConfig()
         self.config.validate()
         self._fitted = False
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        """Drop the fit-derived hot-path caches (factors, drug reps)."""
+        self._factor_cache: Optional[Tuple[np.ndarray, object]] = None
+        self._drug_reps_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -122,13 +135,15 @@ class MDModule:
         self._z_drugs = z
         self._ddi_graph = ddi_graph
         self._ddi_embeddings = ddi_embeddings
+        self._reset_caches()
 
         # ---------------- causal model: treatment + counterfactuals -------
         k = num_clusters or cfg.num_clusters or 10
         k = max(1, min(k, m))
         self._kmeans: KMeansResult = kmeans(x, k, seed=cfg.seed)
         assignment = build_treatment(
-            x, y, ddi_graph, k, seed=cfg.seed, clusters=self._kmeans.labels
+            x, y, ddi_graph, k, seed=cfg.seed, clusters=self._kmeans.labels,
+            backend=cfg.propagation_backend,
         )
         self._treatment = assignment.matrix
 
@@ -169,7 +184,9 @@ class MDModule:
         )
 
         graph = BipartiteGraph.from_matrix(y)
-        self._p2d, self._d2p = bipartite_propagation(graph)
+        self._p2d, self._d2p = bipartite_propagation(
+            graph, backend=cfg.propagation_backend
+        )
 
         params = (
             self._patient_fc.parameters()
@@ -254,8 +271,22 @@ class MDModule:
         patient_idx: np.ndarray,
         drug_idx: np.ndarray,
         treatment: np.ndarray,
+        needs_grad: bool = True,
     ) -> Tensor:
-        """Eq. 14: MLP([h_i ⊙ h'_v, T_iv]) -> logits."""
+        """Eq. 14: MLP([h_i ⊙ h'_v, T_iv]) -> logits.
+
+        The standard decoder shape runs through the fused pair op (one
+        graph node, hand-written backward, bitwise-identical arithmetic)
+        — this path scores tens of thousands of sampled links per epoch
+        and dominates training time; non-standard decoders fall back to
+        the generic op-by-op pipeline.  ``needs_grad=False`` (scoring)
+        detaches the fused op so its workspace recycles immediately.
+        """
+        if can_fuse_pair_mlp(self._decoder):
+            return pair_interaction_logits(
+                h_patients, h_drugs, patient_idx, drug_idx, treatment,
+                self._decoder, needs_grad=needs_grad,
+            )
         h_i = gather_rows(h_patients, patient_idx)
         h_v = gather_rows(h_drugs, drug_idx)
         interaction = h_i * h_v
@@ -275,48 +306,78 @@ class MDModule:
         clusters = self._kmeans.predict(x)
         cluster_drugs, synergy = self._treatment_factors()
         treatment = cluster_drugs[clusters]
-        propagated = (treatment @ synergy) > 0
+        propagated = sparse_backend.matmul(treatment, synergy) > 0
         return np.maximum(treatment, propagated.astype(np.int64))
 
-    def _treatment_factors(self) -> Tuple[np.ndarray, np.ndarray]:
-        """The two fixed factors of :meth:`treatment_for`.
+    def _treatment_factors(self) -> Tuple[np.ndarray, object]:
+        """The two fixed factors of :meth:`treatment_for`, cached after fit.
 
         Returns the per-cluster drug exposure (K, n) from the observed
-        data and the (n, n) synergy adjacency.  Shared with
-        :meth:`scoring_state` so the serving path derives treatments from
-        the exact same arrays.
+        data and the (n, n) synergy adjacency (dense, or CSR when the
+        configured propagation backend selects sparse).  Both are pure
+        functions of the fitted state, so they are computed once and
+        reused by every ``treatment_for`` / ``predict_scores`` call and
+        shared with :meth:`scoring_state` so the serving path derives
+        treatments from the exact same arrays.
         """
-        n = self._y_train.shape[1]
-        cluster_drugs = np.zeros((self._kmeans.centers.shape[0], n), dtype=np.int64)
-        for c in range(self._kmeans.centers.shape[0]):
-            members = self._kmeans.labels == c
-            if members.any():
-                cluster_drugs[c] = self._y_train[members].max(axis=0)
-        synergy = np.zeros((n, n))
-        for u, v, sign in self._ddi_graph.edges_with_signs():
-            if sign == 1:
-                synergy[u, v] = 1.0
-                synergy[v, u] = 1.0
-        return cluster_drugs, synergy
+        if self._factor_cache is None:
+            n = self._y_train.shape[1]
+            k = self._kmeans.centers.shape[0]
+            cluster_drugs = np.zeros((k, n), dtype=np.int64)
+            np.maximum.at(cluster_drugs, self._kmeans.labels, self._y_train)
+            synergy = synergy_adjacency(
+                self._ddi_graph, self.config.propagation_backend
+            )
+            self._factor_cache = (cluster_drugs, synergy)
+        return self._factor_cache
 
-    def predict_scores(self, patient_features: np.ndarray) -> np.ndarray:
-        """Suggestion scores for every drug, per patient (sigmoid probs)."""
+    def _fitted_drug_reps(self) -> np.ndarray:
+        """Final drug representations h'_v, computed once per fit.
+
+        The encoder output over the *training* graph is fixed after
+        training, so re-running Eq. 10-13 (plus the DDI addition) on
+        every ``predict_scores`` call is pure waste; the first call pays
+        for it and every later call reads the cache.
+        """
+        if self._drug_reps_cache is None:
+            _, h_drugs = self._encode(Tensor(self._x_train), Tensor(self._z_drugs))
+            self._drug_reps_cache = h_drugs.numpy()
+        return self._drug_reps_cache
+
+    def predict_scores(
+        self, patient_features: np.ndarray, chunk_rows: Optional[int] = None
+    ) -> np.ndarray:
+        """Suggestion scores for every drug, per patient (sigmoid probs).
+
+        Uses the cached post-training drug representations (no re-encode
+        of the training set) and scores in chunks of at most
+        ``chunk_rows`` (default ``config.score_chunk_rows``) decoder rows
+        so the (patients x drugs, hidden) intermediates stay bounded on
+        large cohorts.
+        """
         self._require_fitted()
         x = np.asarray(patient_features, dtype=np.float64)
         treatment = self.treatment_for(x)
-        h_train_patients, h_drugs = self._encode(
-            Tensor(self._x_train), Tensor(self._z_drugs)
-        )
+        h_drugs = Tensor(self._fitted_drug_reps())
         h_new = self._patient_fc(Tensor(x)).leaky_relu()
         n_drugs = self._y_train.shape[1]
         num = x.shape[0]
-        patient_idx = np.repeat(np.arange(num), n_drugs)
-        drug_idx = np.tile(np.arange(n_drugs), num)
-        logits = self._decode(
-            h_new, h_drugs, patient_idx, drug_idx,
-            treatment[patient_idx, drug_idx],
-        )
-        scores = logits.sigmoid().numpy().reshape(num, n_drugs)
+        chunk_rows = chunk_rows or self.config.score_chunk_rows
+        patients_per_chunk = max(1, chunk_rows // max(n_drugs, 1))
+        scores = np.empty((num, n_drugs), dtype=np.float64)
+        drug_range = np.arange(n_drugs)
+        for start in range(0, num, patients_per_chunk):
+            stop = min(start + patients_per_chunk, num)
+            patient_idx = np.repeat(np.arange(start, stop), n_drugs)
+            drug_idx = np.tile(drug_range, stop - start)
+            logits = self._decode(
+                h_new, h_drugs, patient_idx, drug_idx,
+                treatment[patient_idx, drug_idx],
+                needs_grad=False,
+            )
+            scores[start:stop] = (
+                logits.sigmoid().numpy().reshape(stop - start, n_drugs)
+            )
         return scores
 
     # ------------------------------------------------------------------
@@ -332,8 +393,7 @@ class MDModule:
     def drug_representations(self) -> np.ndarray:
         """Final drug representations h'_v (Fig. 7b input)."""
         self._require_fitted()
-        _, h_drugs = self._encode(Tensor(self._x_train), Tensor(self._z_drugs))
-        return h_drugs.numpy()
+        return self._fitted_drug_reps().copy()
 
     # ------------------------------------------------------------------
     # Persistence hooks (used by repro.serving.artifact)
@@ -432,7 +492,9 @@ class MDModule:
             )
 
         graph = BipartiteGraph.from_matrix(module._y_train)
-        module._p2d, module._d2p = bipartite_propagation(graph)
+        module._p2d, module._d2p = bipartite_propagation(
+            graph, backend=cfg.propagation_backend
+        )
         module._fitted = True
         return module
 
@@ -461,7 +523,10 @@ class MDModule:
           with ReLU between hidden layers and a linear output.
         * ``cluster_drugs``: per-cluster drug exposure (K, n) from the
           observed data, and ``synergy``: the (n, n) synergy adjacency —
-          the two fixed factors of :meth:`treatment_for`.
+          the two fixed factors of :meth:`treatment_for`, served straight
+          from the post-fit cache.  ``synergy`` is CSR when the
+          configured propagation backend selects sparse, so serving-time
+          treatment derivation shares the same fast path.
         """
         self._require_fitted()
         cluster_drugs, synergy = self._treatment_factors()

@@ -12,6 +12,7 @@ from .propagation import (
     signed_edge_arrays,
     signed_mean_adjacencies,
     symmetric_adjacency,
+    synergy_adjacency,
 )
 from .gin import GINConv, GINEncoder
 from .sgcn import SGCNConv, SGCNEncoder
@@ -29,6 +30,7 @@ __all__ = [
     "interaction_mean_adjacency",
     "bipartite_propagation",
     "signed_edge_arrays",
+    "synergy_adjacency",
     "GINConv",
     "GINEncoder",
     "SGCNConv",

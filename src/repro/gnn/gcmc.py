@@ -48,9 +48,13 @@ class GCMCEncoder(Module):
         self,
         x_patients: Tensor,
         x_drugs: Tensor,
-        channels: Sequence[Tuple[np.ndarray, np.ndarray]],
+        channels: Sequence[Tuple],
     ) -> Tuple[Tensor, Tensor]:
-        """``channels[c] = (p2d, d2p)`` normalized adjacency per rating type."""
+        """``channels[c] = (p2d, d2p)`` normalized adjacency per rating type.
+
+        Each adjacency may be a dense ndarray or a CSR matrix; the
+        propagation goes through ``matmul_fixed`` either way.
+        """
         if len(channels) != self.num_channels:
             raise ValueError(
                 f"expected {self.num_channels} channels, got {len(channels)}"

@@ -34,8 +34,8 @@ class GINConv(Module):
             "eps", Tensor(np.zeros(1), requires_grad=True)
         )
 
-    def forward(self, x: Tensor, mean_adj: np.ndarray) -> Tensor:
-        """``mean_adj`` is the row-normalized adjacency (constant)."""
+    def forward(self, x: Tensor, mean_adj) -> Tensor:
+        """``mean_adj`` is the row-normalized adjacency (constant, dense or CSR)."""
         aggregated = matmul_fixed(mean_adj, x)
         combined = x * (self.eps + 1.0) + aggregated
         return self.mlp(combined)
@@ -77,7 +77,7 @@ class GINEncoder(Module):
     def out_dim(self) -> int:
         return self.convs[-1].mlp.layers[-1].out_features
 
-    def forward(self, x: Tensor, mean_adj: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, mean_adj) -> Tensor:
         for conv, norm in zip(self.convs, self.norms):
             x = conv(x, mean_adj)
             if norm is not None:

@@ -13,7 +13,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..nn import Module, Tensor, matmul_fixed
+from ..nn import Module, Tensor
+from ..nn.fused import lightgcn_scan
 
 
 def default_layer_weights(num_layers: int) -> List[float]:
@@ -28,7 +29,9 @@ class LightGCNPropagation(Module):
         h_patients: (m, d) patient features at layer 0.
         h_drugs: (n, d) drug features at layer 0.
         p2d / d2p: normalized adjacencies from
-            :meth:`repro.graph.BipartiteGraph.normalized_adjacency`.
+            :meth:`repro.graph.BipartiteGraph.normalized_adjacency` —
+            dense ndarrays or CSR matrices; ``matmul_fixed`` handles
+            both, so sparse cohorts propagate in O(nnz).
 
     Returns the layer-combined (patients, drugs) representations:
         h'_v = sum_t beta_t h_v^(t)   (Eq. 13)
@@ -54,17 +57,12 @@ class LightGCNPropagation(Module):
         self,
         h_patients: Tensor,
         h_drugs: Tensor,
-        p2d: np.ndarray,
-        d2p: np.ndarray,
+        p2d,
+        d2p,
     ) -> Tuple[Tensor, Tensor]:
-        patients_combined = h_patients * self.layer_weights[0]
-        drugs_combined = h_drugs * self.layer_weights[0]
-        current_patients, current_drugs = h_patients, h_drugs
-        for t in range(1, self.num_layers + 1):
-            next_patients = matmul_fixed(p2d, current_drugs)   # Eq. (11)
-            next_drugs = matmul_fixed(d2p, current_patients)   # Eq. (12)
-            current_patients, current_drugs = next_patients, next_drugs
-            weight = self.layer_weights[t]
-            patients_combined = patients_combined + current_patients * weight
-            drugs_combined = drugs_combined + current_drugs * weight
-        return patients_combined, drugs_combined
+        # Eq. (11)-(13) as one fused scan: alternating propagation with
+        # the weighted layer sum accumulated in place, bitwise identical
+        # to the op-by-op loop but without a tensor per intermediate.
+        return lightgcn_scan(
+            h_patients, h_drugs, p2d, d2p, self.layer_weights
+        )

@@ -1,33 +1,101 @@
 """Adjacency normalization helpers shared by the GNN layers.
 
-The DDI graph has 86 drugs and the evaluation cohorts a few thousand
-patients, so dense propagation matrices are the simplest correct choice.
-Every helper returns plain numpy arrays that enter the autograd graph as
-constants via :func:`repro.nn.matmul_fixed`.
+Every helper returns a *fixed* propagation matrix that enters the
+autograd graph as a constant via :func:`repro.nn.matmul_fixed`.  The
+representation is chosen by the density-threshold policy of
+:mod:`repro.nn.sparse`: graphs that are large and mostly empty (the
+patient-drug bipartite graph at realistic cohort sizes is >99% sparse)
+come back as ``scipy.sparse`` CSR matrices, while small or dense graphs
+(the 86-drug DDI graph of the paper's experiments) keep the seed's dense
+arrays with bitwise-identical arithmetic.  Each helper accepts a
+``backend`` override ("auto" / "dense" / "sparse") so bitwise-compat
+runs can pin the dense path; the process-wide default is managed by
+``repro.nn.sparse.set_backend`` / ``use_backend``.
+
+The per-edge construction is vectorized throughout: edge lists are
+extracted once as arrays (:meth:`repro.graph.SignedGraph.edge_arrays`)
+and scattered with fancy indexing instead of Python loops.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..graph import BipartiteGraph, SignedGraph
+from ..nn import sparse as sparse_backend
 
 
-def mean_adjacency(adjacency: np.ndarray) -> np.ndarray:
+def _undirected_entries(
+    u: np.ndarray, v: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Duplicate single-orientation edge arrays into both directions."""
+    return np.concatenate([u, v]), np.concatenate([v, u])
+
+
+def _binary_adjacency(
+    shape: Tuple[int, int],
+    rows: np.ndarray,
+    cols: np.ndarray,
+    backend: Optional[str],
+):
+    """0/1 adjacency from entry arrays, dense or CSR per the policy.
+
+    ``(rows, cols)`` pairs are assumed unique (simple graphs), so the
+    CSR duplicate-summing build yields the same 0/1 values as the dense
+    scatter.
+    """
+    if sparse_backend.should_sparsify(shape, len(rows), backend):
+        return sparse_backend.csr_from_entries(
+            shape, rows, cols, np.ones(len(rows))
+        )
+    mat = np.zeros(shape)
+    mat[rows, cols] = 1.0
+    return mat
+
+
+def mean_adjacency(adjacency, backend: Optional[str] = None):
     """Row-normalize a 0/1 adjacency: ``M[i, j] = A[i, j] / deg(i)``.
 
     Rows with zero degree stay zero (isolated nodes aggregate nothing).
+    Accepts dense or CSR input; the output representation follows the
+    backend policy (dense input only converts when the policy selects
+    sparse, and vice versa).
     """
+    if sparse_backend.is_sparse(adjacency):
+        adjacency = adjacency.tocsr()
+        degree = np.asarray(adjacency.sum(axis=1)).ravel()
+        scale = np.divide(1.0, degree, out=np.zeros_like(degree), where=degree > 0)
+        normalized = adjacency.multiply(scale[:, None]).tocsr()
+        return sparse_backend.maybe_sparse(normalized, backend)
     adjacency = np.asarray(adjacency, dtype=np.float64)
     degree = adjacency.sum(axis=1)
     scale = np.divide(1.0, degree, out=np.zeros_like(degree), where=degree > 0)
-    return adjacency * scale[:, None]
+    return sparse_backend.maybe_sparse(adjacency * scale[:, None], backend)
 
 
-def symmetric_adjacency(adjacency: np.ndarray, self_loops: bool = False) -> np.ndarray:
-    """GCN-style D^-1/2 (A [+ I]) D^-1/2 normalization."""
+def symmetric_adjacency(
+    adjacency, self_loops: bool = False, backend: Optional[str] = None
+):
+    """GCN-style D^-1/2 (A [+ I]) D^-1/2 normalization.
+
+    Dense or CSR input, output per the backend policy (see module docs).
+    """
+    if sparse_backend.is_sparse(adjacency):
+        adjacency = adjacency.tocsr()
+        if self_loops:
+            from scipy import sparse as sp
+
+            adjacency = (adjacency + sp.eye(adjacency.shape[0], format="csr")).tocsr()
+        degree = np.asarray(adjacency.sum(axis=1)).ravel()
+        inv_sqrt = np.divide(
+            1.0, np.sqrt(degree), out=np.zeros_like(degree), where=degree > 0
+        )
+        normalized = (
+            adjacency.multiply(inv_sqrt[:, None]).multiply(inv_sqrt[None, :]).tocsr()
+        )
+        return sparse_backend.maybe_sparse(normalized, backend)
     adjacency = np.asarray(adjacency, dtype=np.float64)
     if self_loops:
         adjacency = adjacency + np.eye(adjacency.shape[0])
@@ -35,51 +103,79 @@ def symmetric_adjacency(adjacency: np.ndarray, self_loops: bool = False) -> np.n
     inv_sqrt = np.divide(
         1.0, np.sqrt(degree), out=np.zeros_like(degree), where=degree > 0
     )
-    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+    return sparse_backend.maybe_sparse(
+        adjacency * inv_sqrt[:, None] * inv_sqrt[None, :], backend
+    )
 
 
-def signed_mean_adjacencies(graph: SignedGraph) -> Tuple[np.ndarray, np.ndarray]:
-    """Row-normalized positive and negative adjacencies (B_v and U_v paths)."""
-    signed = graph.signed_adjacency()
-    positive = (signed > 0).astype(np.float64)
-    negative = (signed < 0).astype(np.float64)
-    return mean_adjacency(positive), mean_adjacency(negative)
+def signed_mean_adjacencies(graph: SignedGraph, backend: Optional[str] = None):
+    """Row-normalized positive and negative adjacencies (B_v and U_v paths).
+
+    Returns ``(positive, negative)``, each dense or CSR per the policy.
+    """
+    u, v, signs = graph.edge_arrays()
+    n = graph.num_nodes
+    pos_rows, pos_cols = _undirected_entries(u[signs > 0], v[signs > 0])
+    neg_rows, neg_cols = _undirected_entries(u[signs < 0], v[signs < 0])
+    positive = _binary_adjacency((n, n), pos_rows, pos_cols, backend)
+    negative = _binary_adjacency((n, n), neg_rows, neg_cols, backend)
+    return mean_adjacency(positive, backend), mean_adjacency(negative, backend)
 
 
-def interaction_mean_adjacency(graph: SignedGraph, include_zero: bool = True) -> np.ndarray:
+def interaction_mean_adjacency(
+    graph: SignedGraph, include_zero: bool = True, backend: Optional[str] = None
+):
     """Row-normalized adjacency over *all* interactions.
 
     The paper's GIN backbone aggregates over N_v = drugs that have any
     interaction with v, including the sampled "no interaction" (0) edges
-    when ``include_zero`` is set.
+    when ``include_zero`` is set.  Dense or CSR per the backend policy.
     """
-    mat = np.zeros((graph.num_nodes, graph.num_nodes))
-    for u, v, sign in graph.edges_with_signs():
-        if sign == 0 and not include_zero:
-            continue
-        mat[u, v] = 1.0
-        mat[v, u] = 1.0
-    return mean_adjacency(mat)
+    u, v, signs = graph.edge_arrays()
+    if not include_zero:
+        keep = signs != 0
+        u, v = u[keep], v[keep]
+    rows, cols = _undirected_entries(u, v)
+    n = graph.num_nodes
+    return mean_adjacency(_binary_adjacency((n, n), rows, cols, backend), backend)
 
 
-def bipartite_propagation(graph: BipartiteGraph) -> Tuple[np.ndarray, np.ndarray]:
-    """Symmetric-normalized patient->drug and drug->patient matrices."""
-    return graph.normalized_adjacency()
+def synergy_adjacency(graph: SignedGraph, backend: Optional[str] = None):
+    """0/1 adjacency over the synergy (+1) edges, both orientations.
+
+    The fixed factor of the treatment derivation (Sec. IV-B1 step 3),
+    shared by fit-time :func:`repro.causal.build_treatment` and the
+    post-fit cache behind ``MDModule.treatment_for`` / serving — one
+    construction site so the representation policy cannot diverge
+    between them.  Dense or CSR per the backend policy.
+    """
+    u, v, signs = graph.edge_arrays()
+    pos = signs == 1
+    rows, cols = _undirected_entries(u[pos], v[pos])
+    n = graph.num_nodes
+    return _binary_adjacency((n, n), rows, cols, backend)
+
+
+def bipartite_propagation(graph: BipartiteGraph, backend: Optional[str] = None):
+    """Symmetric-normalized patient->drug and drug->patient matrices.
+
+    Delegates to :meth:`repro.graph.BipartiteGraph.normalized_adjacency`;
+    both matrices are CSR when the link density falls below the policy
+    threshold, dense otherwise.
+    """
+    return graph.normalized_adjacency(backend=backend)
 
 
 def signed_edge_arrays(graph: SignedGraph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Edge list as (sources, targets, signs) arrays with both directions.
 
     Attention layers (SiGAT, SNEA) iterate edges rather than using dense
-    matrices; every undirected edge is emitted in both directions.
+    matrices; every undirected edge is emitted in both directions,
+    interleaved as (u, v), (v, u) pairs — the same order the original
+    per-edge loop produced, so seeded runs stay bitwise reproducible
+    (segment scatter-adds sum in edge order).
     """
-    src, dst, signs = [], [], []
-    for u, v, sign in graph.edges_with_signs():
-        src.extend((u, v))
-        dst.extend((v, u))
-        signs.extend((sign, sign))
-    return (
-        np.asarray(src, dtype=np.int64),
-        np.asarray(dst, dtype=np.int64),
-        np.asarray(signs, dtype=np.int64),
-    )
+    u, v, signs = graph.edge_arrays()
+    src = np.stack([u, v], axis=1).ravel()
+    dst = np.stack([v, u], axis=1).ravel()
+    return src, dst, np.repeat(signs, 2)

@@ -34,9 +34,10 @@ class SGCNConv(Module):
         self,
         h_balanced: Tensor,
         h_unbalanced: Tensor,
-        pos_mean: np.ndarray,
-        neg_mean: np.ndarray,
+        pos_mean,
+        neg_mean,
     ) -> Tuple[Tensor, Tensor]:
+        """``pos_mean`` / ``neg_mean`` are fixed adjacencies, dense or CSR."""
         pos_b = matmul_fixed(pos_mean, h_balanced)
         neg_u = matmul_fixed(neg_mean, h_unbalanced)
         new_balanced = self.linear_balanced(
@@ -80,9 +81,7 @@ class SGCNEncoder(Module):
     def out_dim(self) -> int:
         return self._out_dim
 
-    def forward(
-        self, x: Tensor, pos_mean: np.ndarray, neg_mean: np.ndarray
-    ) -> Tensor:
+    def forward(self, x: Tensor, pos_mean, neg_mean) -> Tensor:
         h_balanced = self.input_balanced(x).tanh()
         h_unbalanced = self.input_unbalanced(x).tanh()
         for conv in self.convs:

@@ -117,9 +117,14 @@ class Graph:
     def adjacency_matrix(self) -> np.ndarray:
         """Dense 0/1 adjacency (small graphs only: the 86-drug DDI graph)."""
         mat = np.zeros((self.num_nodes, self.num_nodes))
-        for u, v in self._edges:
-            mat[u, v] = 1.0
-            mat[v, u] = 1.0
+        if self._edges:
+            edges = np.fromiter(
+                (node for edge in self._edges for node in edge),
+                dtype=np.int64,
+                count=2 * len(self._edges),
+            ).reshape(-1, 2)
+            mat[edges[:, 0], edges[:, 1]] = 1.0
+            mat[edges[:, 1], edges[:, 0]] = 1.0
         return mat
 
     def __repr__(self) -> str:
@@ -200,12 +205,31 @@ class SignedGraph:
     def edges_of_sign(self, sign: int) -> List[Edge]:
         return [edge for edge, s in self._signs.items() if s == sign]
 
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edge list as ``(u, v, sign)`` int64 arrays (one row per edge).
+
+        Single-pass extraction used by the vectorized adjacency builders
+        in :mod:`repro.gnn.propagation`; each undirected edge appears
+        once, in canonical ``u <= v`` orientation and insertion order.
+        """
+        count = len(self._signs)
+        if count == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        endpoints = np.fromiter(
+            (node for edge in self._signs for node in edge),
+            dtype=np.int64,
+            count=2 * count,
+        ).reshape(-1, 2)
+        signs = np.fromiter(self._signs.values(), dtype=np.int64, count=count)
+        return endpoints[:, 0].copy(), endpoints[:, 1].copy(), signs
+
     def signed_adjacency(self) -> np.ndarray:
         """Dense signed adjacency matrix (the paper's DDI matrix of Fig. 4a)."""
         mat = np.zeros((self._num_nodes, self._num_nodes))
-        for (u, v), sign in self._signs.items():
-            mat[u, v] = float(sign)
-            mat[v, u] = float(sign)
+        u, v, signs = self.edge_arrays()
+        mat[u, v] = signs.astype(np.float64)
+        mat[v, u] = signs.astype(np.float64)
         return mat
 
     def to_unsigned(self, include_zero: bool = False) -> Graph:
@@ -286,23 +310,63 @@ class BipartiteGraph:
             for drug in sorted(drugs):
                 yield patient, drug
 
+    def link_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All links as parallel ``(patients, drugs)`` int64 arrays."""
+        count = self.num_links
+        if count == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        patients = np.empty(count, dtype=np.int64)
+        drugs = np.empty(count, dtype=np.int64)
+        offset = 0
+        for patient, adj in enumerate(self._patient_adj):
+            stop = offset + len(adj)
+            patients[offset:stop] = patient
+            drugs[offset:stop] = sorted(adj)
+            offset = stop
+        return patients, drugs
+
     def to_matrix(self) -> np.ndarray:
         mat = np.zeros((self.num_patients, self.num_drugs))
-        for patient, drugs in enumerate(self._patient_adj):
-            for drug in drugs:
-                mat[patient, drug] = 1.0
+        patients, drugs = self.link_arrays()
+        mat[patients, drugs] = 1.0
         return mat
 
-    def normalized_adjacency(self) -> Tuple[np.ndarray, np.ndarray]:
+    def link_density(self) -> float:
+        """Fraction of the patient x drug grid that carries a link."""
+        size = self.num_patients * self.num_drugs
+        return self.num_links / size if size else 0.0
+
+    def normalized_adjacency(self, backend: Optional[str] = None):
         """Symmetric-normalized propagation matrices for MDGCN (Eq. 11-12).
 
         Returns ``(P2D, D2P)`` where ``P2D[i, v] = 1/sqrt(|N_i||N_v|)`` for a
         link between patient i and drug v.  ``P2D @ drug_features`` updates
         patients; ``D2P = P2D.T`` updates drugs.
+
+        The representation follows the density-threshold policy of
+        :mod:`repro.nn.sparse`: large graphs whose link density is below
+        the configured threshold come back as ``scipy.sparse`` CSR
+        matrices (built directly from the link arrays, never densified);
+        everything else keeps the seed's dense arithmetic bitwise.
+        ``backend`` overrides the process-wide policy per call
+        ("auto" / "dense" / "sparse").
         """
-        mat = self.to_matrix()
-        patient_deg = np.maximum(mat.sum(axis=1), 1.0)
-        drug_deg = np.maximum(mat.sum(axis=0), 1.0)
+        from ..nn import sparse as sparse_backend
+
+        patients, drugs = self.link_arrays()
+        shape = (self.num_patients, self.num_drugs)
+        patient_deg = np.zeros(self.num_patients)
+        np.add.at(patient_deg, patients, 1.0)
+        drug_deg = np.zeros(self.num_drugs)
+        np.add.at(drug_deg, drugs, 1.0)
+        patient_deg = np.maximum(patient_deg, 1.0)
+        drug_deg = np.maximum(drug_deg, 1.0)
+        if sparse_backend.should_sparsify(shape, len(patients), backend):
+            data = 1.0 / np.sqrt(patient_deg)[patients] / np.sqrt(drug_deg)[drugs]
+            norm = sparse_backend.csr_from_entries(shape, patients, drugs, data)
+            return norm, norm.T.tocsr()
+        mat = np.zeros(shape)
+        mat[patients, drugs] = 1.0
         norm = mat / np.sqrt(patient_deg)[:, None] / np.sqrt(drug_deg)[None, :]
         return norm, norm.T
 

@@ -2,7 +2,10 @@
 
 The DSSDDI paper's models were implemented in PyTorch; this package provides
 an equivalent, dependency-free substrate so that the full system can run in
-this environment.  See ``repro.nn.tensor`` for the autograd engine.
+this environment.  See ``repro.nn.tensor`` for the autograd engine,
+``repro.nn.sparse`` for the optional scipy-backed CSR propagation backend
+(everything degrades to dense when scipy is absent), and ``repro.nn.fused``
+for the fused training hot-path ops.
 """
 
 from .tensor import (
@@ -42,6 +45,7 @@ from .losses import (
 )
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from . import init
+from . import sparse
 
 __all__ = [
     "Tensor",
@@ -78,4 +82,5 @@ __all__ = [
     "Adam",
     "clip_grad_norm",
     "init",
+    "sparse",
 ]

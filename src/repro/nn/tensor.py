@@ -113,8 +113,13 @@ class Tensor:
     # graph bookkeeping
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
+        # No defensive copy: backward closures hand over freshly computed
+        # arrays (or views nobody mutates — nothing in the engine writes
+        # to a .grad in place), and the second accumulation rebinds to a
+        # new sum array anyway.  Copying here doubled the memory traffic
+        # of every backward edge on large batches.
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad
         else:
             self.grad = self.grad + grad
 
@@ -130,7 +135,9 @@ class Tensor:
                     f"for scalar tensors, got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        # Copy the seed: the caller keeps ownership of their array, and
+        # _accumulate stores what it is given without copying.
+        grad = _as_array(grad).copy()
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -525,27 +532,61 @@ def where(condition: ArrayLike, a: Tensor, b: Tensor) -> Tensor:
     return out
 
 
-def matmul_fixed(a: np.ndarray, b: Tensor) -> Tensor:
+def matmul_fixed(a, b: Tensor) -> Tensor:
     """Multiply a constant matrix (e.g. a normalized adjacency) by a tensor.
 
-    Sparse-style propagation used by the GNN layers: ``a`` carries no
+    Propagation primitive used by the GNN layers: ``a`` carries no
     gradient, only ``b`` does.  Keeping ``a`` out of the autograd graph
     avoids storing dense parents for large adjacency matrices.
+
+    ``a`` may be a dense ``ndarray`` **or** a ``scipy.sparse`` matrix
+    (CSR from :mod:`repro.nn.sparse`): the forward pass is ``A @ x`` and
+    the backward pass ``A^T @ g``, both staying inside scipy's sparse
+    kernels when ``a`` is sparse.  The output (and the accumulated
+    gradient) is always a dense ndarray.
     """
-    out = Tensor(a @ b.data, requires_grad=b.requires_grad, _parents=(b,))
+    from . import sparse as _sparse_backend
 
-    def backward(grad: np.ndarray) -> None:
-        b._accumulate(a.T @ grad)
+    if _sparse_backend.is_sparse(a):
+        out_data = np.asarray(a @ b.data)
+        a_t = a.T  # CSC view, no copy; scipy multiplies it natively
 
+        def backward(grad: np.ndarray) -> None:
+            b._accumulate(np.asarray(a_t @ grad))
+
+    else:
+        out_data = a @ b.data
+
+        def backward(grad: np.ndarray) -> None:
+            b._accumulate(a.T @ grad)
+
+    out = Tensor(out_data, requires_grad=b.requires_grad, _parents=(b,))
     if b.requires_grad:
         out._backward = backward
     return out
 
 
 def gather_rows(t: Tensor, index: np.ndarray) -> Tensor:
-    """Select rows ``t[index]`` with gradient scatter-add on backward."""
+    """Select rows ``t[index]`` with gradient scatter-add on backward.
+
+    The 2-D fast path scatters through :func:`repro.nn.sparse.scatter_add_rows`
+    (CSR selection product on large batches) instead of the generic
+    ``np.add.at`` of ``Tensor.__getitem__``; other shapes fall back to
+    the generic indexing op.
+    """
     index = np.asarray(index, dtype=np.int64)
-    return t[index]
+    if t.data.ndim != 2 or index.ndim != 1:
+        return t[index]
+    out = Tensor(t.data[index], requires_grad=t.requires_grad, _parents=(t,))
+
+    def backward(grad: np.ndarray) -> None:
+        from . import sparse as _sparse_backend
+
+        t._accumulate(_sparse_backend.scatter_add_rows(index, grad, t.data.shape[0]))
+
+    if t.requires_grad:
+        out._backward = backward
+    return out
 
 
 def segment_mean(t: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:

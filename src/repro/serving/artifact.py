@@ -34,7 +34,13 @@ from ..data.catalog import Drug
 from ..data.ddi import DDIDataset
 from ..graph import SignedGraph
 
-FORMAT_VERSION = 1
+#: Version 2 added the propagation_backend / score_chunk_rows config
+#: fields; bumping it means pre-1.2 readers fail with the clean
+#: "unsupported artifact format version" error instead of a confusing
+#: unknown-config-field error.  Version-1 artifacts (which simply lack
+#: the new fields) still load: the config defaults fill them in.
+FORMAT_VERSION = 2
+READABLE_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
 
@@ -93,10 +99,10 @@ def load_system(path: PathLike) -> DSSDDI:
     with open(manifest_path, "r", encoding="utf-8") as fh:
         manifest = json.load(fh)
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise ValueError(
             f"unsupported artifact format version {version!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {READABLE_VERSIONS})"
         )
 
     config = DSSDDIConfig.from_dict(manifest["config"])

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.md_module import MDModule
 from ..ml import KMeansResult
+from ..nn import sparse as sparse_backend
 
 
 def _leaky_relu(x: np.ndarray, slope: float = 0.01) -> np.ndarray:
@@ -67,7 +68,13 @@ class BatchScorer:
         self.decoder_biases = [np.asarray(b, dtype=np.float64) for b in decoder_biases]
         self.kmeans = kmeans
         self.cluster_drugs = np.asarray(cluster_drugs, dtype=np.int64)
-        self.synergy = np.asarray(synergy, dtype=np.float64)
+        # The synergy adjacency arrives straight from the MD module's
+        # post-fit cache: CSR on large sparse DDI graphs, dense otherwise.
+        self.synergy = (
+            synergy
+            if sparse_backend.is_sparse(synergy)
+            else np.asarray(synergy, dtype=np.float64)
+        )
         self.num_drugs = self.drug_reps.shape[0]
         expected_in = self.drug_reps.shape[1] + 1  # [h_i ⊙ h'_v, T_iv]
         if self.decoder_weights[0].shape[0] != expected_in:
@@ -101,7 +108,7 @@ class BatchScorer:
         x = np.atleast_2d(np.asarray(patient_features, dtype=np.float64))
         clusters = self.kmeans.predict(x)
         treatment = self.cluster_drugs[clusters]
-        propagated = (treatment @ self.synergy) > 0
+        propagated = sparse_backend.matmul(treatment, self.synergy) > 0
         return np.maximum(treatment, propagated.astype(np.int64))
 
     def patient_representations(self, patient_features: np.ndarray) -> np.ndarray:

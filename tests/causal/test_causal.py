@@ -73,6 +73,22 @@ class TestTreatment:
         )
         assert np.array_equal(result.clusters, clusters)
 
+    def test_arbitrary_cluster_labels(self):
+        """Caller-provided labels may be negative or non-contiguous; the
+        grouping must match the equivalent contiguous labelling."""
+        features, y, graph = tiny_setup()
+        reference = build_treatment(
+            features, y, graph, num_clusters=2,
+            clusters=np.array([0, 0, 1, 1]),
+        )
+        for odd in ([-2, -2, 7, 7], [10**9, 10**9, -1, -1]):
+            result = build_treatment(
+                features, y, graph, num_clusters=2,
+                clusters=np.array(odd),
+            )
+            assert np.array_equal(result.stage2, reference.stage2)
+            assert np.array_equal(result.matrix, reference.matrix)
+
     def test_validation(self):
         features, y, graph = tiny_setup()
         with pytest.raises(ValueError):

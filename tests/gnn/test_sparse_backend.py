@@ -1,0 +1,382 @@
+"""Sparse-vs-dense equivalence suite for the CSR propagation backend.
+
+Every adjacency producer must yield the same matrix (within 1e-9, in
+practice bitwise) whether the dense or the CSR path is forced, the
+sparse ``matmul_fixed`` must match its dense twin in both the forward
+and the backward pass, and the end-to-end module outputs
+(``MDModule.predict_scores``, ``DDIModule.fit`` embeddings) must agree
+across backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DDIGCNConfig, DDIModule, MDGCNConfig, MDModule
+from repro.gnn import (
+    bipartite_propagation,
+    interaction_mean_adjacency,
+    mean_adjacency,
+    signed_mean_adjacencies,
+    symmetric_adjacency,
+)
+from repro.graph import BipartiteGraph, SignedGraph
+from repro.nn import Tensor, matmul_fixed
+from repro.nn import sparse as sparse_backend
+from repro.serving import BatchScorer
+
+pytest.importorskip("scipy.sparse")
+
+ATOL = 1e-9
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def signed_graph(rng):
+    graph = SignedGraph(30)
+    pairs = {
+        (int(u), int(v))
+        for u, v in rng.integers(0, 30, size=(120, 2))
+        if u != v
+    }
+    for i, (u, v) in enumerate(sorted(pairs)):
+        graph.add_edge(u, v, (-1, 0, 1)[i % 3])
+    return graph
+
+
+@pytest.fixture
+def bipartite_graph(rng):
+    matrix = (rng.random((40, 18)) < 0.15).astype(float)
+    matrix[0] = 0.0  # isolated patient
+    matrix[:, 1] = 0.0  # unused drug
+    matrix[1, 2] = 1.0
+    return BipartiteGraph.from_matrix(matrix)
+
+
+def _dense(mat):
+    return sparse_backend.to_dense(mat)
+
+
+class TestPolicy:
+    def test_backends_validate(self):
+        with pytest.raises(ValueError):
+            sparse_backend.set_backend("csr")
+        with sparse_backend.use_backend("dense"):
+            assert sparse_backend.get_backend() == "dense"
+        assert sparse_backend.get_backend() == "auto"
+
+    def test_auto_keeps_small_matrices_dense(self):
+        # Far below the size floor: even a very sparse matrix stays dense.
+        assert not sparse_backend.should_sparsify((30, 30), 4, "auto")
+
+    def test_auto_sparsifies_large_sparse_matrices(self):
+        assert sparse_backend.should_sparsify((5000, 500), 25000, "auto")
+
+    def test_forced_backends_override_policy(self):
+        assert sparse_backend.should_sparsify((3, 3), 9, "sparse")
+        assert not sparse_backend.should_sparsify((5000, 500), 1, "dense")
+
+    def test_maybe_sparse_round_trip(self, rng):
+        dense = (rng.random((20, 20)) < 0.1).astype(float)
+        csr = sparse_backend.maybe_sparse(dense, "sparse")
+        assert sparse_backend.is_sparse(csr)
+        back = sparse_backend.maybe_sparse(csr, "dense")
+        assert isinstance(back, np.ndarray)
+        np.testing.assert_array_equal(back, dense)
+
+    def test_matmul_mixed_operands(self, rng):
+        a = (rng.random((12, 9)) < 0.3).astype(float)
+        b = rng.normal(size=(9, 5))
+        a_csr = sparse_backend.as_csr(a)
+        b_csr = sparse_backend.as_csr(b)
+        expected = a @ b
+        np.testing.assert_allclose(sparse_backend.matmul(a_csr, b), expected, atol=ATOL)
+        np.testing.assert_allclose(sparse_backend.matmul(a, b_csr), expected, atol=ATOL)
+        np.testing.assert_allclose(
+            sparse_backend.matmul(a_csr, b_csr), expected, atol=ATOL
+        )
+
+
+class TestNormalizerEquivalence:
+    def test_mean_adjacency(self, rng):
+        adj = (rng.random((25, 25)) < 0.2).astype(float)
+        dense = mean_adjacency(adj, backend="dense")
+        sparse = mean_adjacency(adj, backend="sparse")
+        assert sparse_backend.is_sparse(sparse)
+        np.testing.assert_allclose(_dense(sparse), dense, atol=ATOL)
+
+    def test_mean_adjacency_accepts_sparse_input(self, rng):
+        adj = (rng.random((25, 25)) < 0.2).astype(float)
+        from_sparse = mean_adjacency(sparse_backend.as_csr(adj), backend="sparse")
+        np.testing.assert_allclose(
+            _dense(from_sparse), mean_adjacency(adj, backend="dense"), atol=ATOL
+        )
+
+    @pytest.mark.parametrize("self_loops", [False, True])
+    def test_symmetric_adjacency(self, rng, self_loops):
+        base = (rng.random((25, 25)) < 0.2).astype(float)
+        adj = np.maximum(base, base.T)
+        dense = symmetric_adjacency(adj, self_loops=self_loops, backend="dense")
+        sparse = symmetric_adjacency(adj, self_loops=self_loops, backend="sparse")
+        assert sparse_backend.is_sparse(sparse)
+        np.testing.assert_allclose(_dense(sparse), dense, atol=ATOL)
+        from_sparse = symmetric_adjacency(
+            sparse_backend.as_csr(adj), self_loops=self_loops, backend="sparse"
+        )
+        np.testing.assert_allclose(_dense(from_sparse), dense, atol=ATOL)
+
+    def test_signed_mean_adjacencies(self, signed_graph):
+        pos_d, neg_d = signed_mean_adjacencies(signed_graph, backend="dense")
+        pos_s, neg_s = signed_mean_adjacencies(signed_graph, backend="sparse")
+        assert sparse_backend.is_sparse(pos_s) and sparse_backend.is_sparse(neg_s)
+        np.testing.assert_allclose(_dense(pos_s), pos_d, atol=ATOL)
+        np.testing.assert_allclose(_dense(neg_s), neg_d, atol=ATOL)
+
+    @pytest.mark.parametrize("include_zero", [True, False])
+    def test_interaction_mean_adjacency(self, signed_graph, include_zero):
+        dense = interaction_mean_adjacency(
+            signed_graph, include_zero=include_zero, backend="dense"
+        )
+        sparse = interaction_mean_adjacency(
+            signed_graph, include_zero=include_zero, backend="sparse"
+        )
+        assert sparse_backend.is_sparse(sparse)
+        np.testing.assert_allclose(_dense(sparse), dense, atol=ATOL)
+
+    def test_bipartite_propagation(self, bipartite_graph):
+        p2d_d, d2p_d = bipartite_propagation(bipartite_graph, backend="dense")
+        p2d_s, d2p_s = bipartite_propagation(bipartite_graph, backend="sparse")
+        assert sparse_backend.is_sparse(p2d_s) and sparse_backend.is_sparse(d2p_s)
+        np.testing.assert_allclose(_dense(p2d_s), p2d_d, atol=ATOL)
+        np.testing.assert_allclose(_dense(d2p_s), d2p_d, atol=ATOL)
+
+    def test_normalized_adjacency_backend_arg(self, bipartite_graph):
+        p2d, d2p = bipartite_graph.normalized_adjacency(backend="sparse")
+        assert sparse_backend.is_sparse(p2d)
+        dense_p2d, _ = bipartite_graph.normalized_adjacency(backend="dense")
+        np.testing.assert_allclose(_dense(p2d), dense_p2d, atol=ATOL)
+        np.testing.assert_allclose(_dense(d2p), dense_p2d.T, atol=ATOL)
+
+
+class TestSparseMatmulFixed:
+    def test_forward_matches_dense(self, rng):
+        a = (rng.random((14, 10)) < 0.3) * rng.normal(size=(14, 10))
+        x = Tensor(rng.normal(size=(10, 6)), requires_grad=True)
+        dense_out = matmul_fixed(a, x)
+        sparse_out = matmul_fixed(sparse_backend.as_csr(a), x)
+        assert isinstance(sparse_out.data, np.ndarray)
+        np.testing.assert_allclose(sparse_out.data, dense_out.data, atol=ATOL)
+
+    def test_backward_matches_dense(self, rng):
+        a = (rng.random((14, 10)) < 0.3) * rng.normal(size=(14, 10))
+        seed_grad = rng.normal(size=(14, 6))
+
+        x_dense = Tensor(rng.normal(size=(10, 6)), requires_grad=True)
+        matmul_fixed(a, x_dense).backward(seed_grad)
+        x_sparse = Tensor(x_dense.data.copy(), requires_grad=True)
+        matmul_fixed(sparse_backend.as_csr(a), x_sparse).backward(seed_grad)
+        np.testing.assert_allclose(x_sparse.grad, x_dense.grad, atol=ATOL)
+
+    def test_gradient_check_numeric(self, rng):
+        a = sparse_backend.as_csr(
+            (rng.random((6, 5)) < 0.5) * rng.normal(size=(6, 5))
+        )
+        x0 = rng.normal(size=(5, 3))
+        w = rng.normal(size=(6, 3))
+
+        def loss_value(values: np.ndarray) -> float:
+            return float((np.asarray(a @ values) * w).sum())
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        (matmul_fixed(a, x) * Tensor(w)).sum().backward()
+        eps = 1e-6
+        numeric = np.zeros_like(x0)
+        for i in range(x0.shape[0]):
+            for j in range(x0.shape[1]):
+                bumped = x0.copy()
+                bumped[i, j] += eps
+                dipped = x0.copy()
+                dipped[i, j] -= eps
+                numeric[i, j] = (loss_value(bumped) - loss_value(dipped)) / (2 * eps)
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-5)
+
+
+class TestFusedOps:
+    """The fused hot-path ops must replay the generic autograd ops bitwise."""
+
+    def test_pair_interaction_logits_matches_generic(self, rng):
+        from repro.nn import MLP, concat, gather_rows
+        from repro.nn.fused import can_fuse_pair_mlp, pair_interaction_logits
+
+        h = 8
+        mlp = MLP([h + 1, h, 1], rng, activation="relu")
+        assert can_fuse_pair_mlp(mlp)
+        hp = Tensor(rng.normal(size=(20, h)), requires_grad=True)
+        hd = Tensor(rng.normal(size=(6, h)), requires_grad=True)
+        li = rng.integers(0, 20, size=40)
+        ri = rng.integers(0, 6, size=40)
+        extra = rng.integers(0, 2, size=40).astype(float)
+        seed_grad = rng.normal(size=40)
+
+        fused = pair_interaction_logits(hp, hd, li, ri, extra, mlp)
+        fused.backward(seed_grad)
+        fused_grads = (
+            hp.grad.copy(), hd.grad.copy(),
+            *[p.grad.copy() for p in mlp.parameters()],
+        )
+        hp.zero_grad(); hd.zero_grad()
+        for p in mlp.parameters():
+            p.zero_grad()
+        generic = mlp(
+            concat(
+                [gather_rows(hp, li) * gather_rows(hd, ri),
+                 Tensor(extra.reshape(-1, 1))],
+                axis=1,
+            )
+        ).reshape(-1)
+        np.testing.assert_array_equal(fused.data, generic.data)
+        generic.backward(seed_grad)
+        generic_grads = (
+            hp.grad, hd.grad, *[p.grad for p in mlp.parameters()]
+        )
+        for got, expected in zip(fused_grads, generic_grads):
+            np.testing.assert_array_equal(got, expected)
+
+    def test_lightgcn_scan_matches_generic(self, rng, bipartite_graph):
+        from repro.gnn import LightGCNPropagation, default_layer_weights
+        from repro.nn import matmul_fixed
+
+        p2d, d2p = bipartite_graph.normalized_adjacency(backend="dense")
+        num_layers = 3
+        weights = default_layer_weights(num_layers)
+        prop = LightGCNPropagation(num_layers, weights)
+        hp = Tensor(rng.normal(size=(p2d.shape[0], 5)), requires_grad=True)
+        hd = Tensor(rng.normal(size=(p2d.shape[1], 5)), requires_grad=True)
+
+        out_p, out_d = prop(hp, hd, p2d, d2p)
+        ((out_p * out_p).sum() + (out_d * out_d).sum()).backward()
+        scan_grads = (hp.grad.copy(), hd.grad.copy())
+        hp.zero_grad(); hd.zero_grad()
+
+        # op-by-op reference
+        pc = hp * weights[0]
+        dc = hd * weights[0]
+        cur_p, cur_d = hp, hd
+        for t in range(1, num_layers + 1):
+            cur_p, cur_d = matmul_fixed(p2d, cur_d), matmul_fixed(d2p, cur_p)
+            pc = pc + cur_p * weights[t]
+            dc = dc + cur_d * weights[t]
+        np.testing.assert_array_equal(out_p.data, pc.data)
+        np.testing.assert_array_equal(out_d.data, dc.data)
+        ((pc * pc).sum() + (dc * dc).sum()).backward()
+        np.testing.assert_allclose(scan_grads[0], hp.grad, atol=ATOL)
+        np.testing.assert_allclose(scan_grads[1], hd.grad, atol=ATOL)
+
+    def test_scatter_add_rows_matches_add_at(self, rng):
+        index = rng.integers(0, 50, size=6000)
+        values = rng.normal(size=(6000, 4))
+        expected = np.zeros((50, 4))
+        np.add.at(expected, index, values)
+        got = sparse_backend.scatter_add_rows(index, values, 50)
+        np.testing.assert_array_equal(got, expected)  # bitwise: same order
+
+
+def _small_cohort(rng, m=36, n=14):
+    x = rng.normal(size=(m, 6))
+    y = (rng.random((m, n)) < 0.25).astype(np.int64)
+    y[np.arange(m), rng.integers(0, n, size=m)] = 1  # no empty patients
+    graph = SignedGraph(n)
+    pairs = {
+        (int(u), int(v)) for u, v in rng.integers(0, n, size=(25, 2)) if u != v
+    }
+    for i, (u, v) in enumerate(sorted(pairs)):
+        graph.add_edge(u, v, 1 if i % 2 == 0 else -1)
+    return x, y, np.eye(n), graph
+
+
+class TestEndToEndEquivalence:
+    @pytest.fixture(scope="class")
+    def fitted_dense(self):
+        rng = np.random.default_rng(3)
+        x, y, z, graph = _small_cohort(rng)
+        cfg = MDGCNConfig(
+            epochs=25, hidden_dim=16, use_counterfactual=False,
+            num_clusters=4, propagation_backend="dense",
+        )
+        module = MDModule(cfg)
+        module.fit(x, y, z, graph, None)
+        return module, x, graph
+
+    def test_md_predict_scores_across_backends(self, fitted_dense):
+        module, x, graph = fitted_dense
+        state = module.export_state()
+        sparse_cfg = MDGCNConfig(**{
+            **module.config.to_dict(), "propagation_backend": "sparse"
+        })
+        rebuilt = MDModule.from_state(sparse_cfg, state, graph)
+        assert sparse_backend.is_sparse(rebuilt._p2d)
+        np.testing.assert_allclose(
+            rebuilt.predict_scores(x[:9]), module.predict_scores(x[:9]), atol=ATOL
+        )
+        np.testing.assert_array_equal(
+            rebuilt.treatment_for(x[:9]), module.treatment_for(x[:9])
+        )
+
+    def test_treatment_factors_cached_and_sparse(self, fitted_dense):
+        module, _x, graph = fitted_dense
+        first = module._treatment_factors()
+        assert module._treatment_factors() is first  # cached, not recomputed
+        sparse_cfg = MDGCNConfig(**{
+            **module.config.to_dict(), "propagation_backend": "sparse"
+        })
+        rebuilt = MDModule.from_state(sparse_cfg, module.export_state(), graph)
+        _, synergy = rebuilt._treatment_factors()
+        assert sparse_backend.is_sparse(synergy)
+        np.testing.assert_allclose(_dense(synergy), _dense(first[1]), atol=ATOL)
+
+    def test_drug_representations_cached(self, fitted_dense):
+        module, _x, _graph = fitted_dense
+        cached = module._fitted_drug_reps()
+        assert module._fitted_drug_reps() is cached
+        np.testing.assert_array_equal(module.drug_representations(), cached)
+
+    def test_chunked_scoring_matches_unchunked(self, fitted_dense):
+        module, x, _graph = fitted_dense
+        full = module.predict_scores(x[:12])
+        chunked = module.predict_scores(x[:12], chunk_rows=5)
+        np.testing.assert_allclose(chunked, full, atol=ATOL)
+
+    def test_batch_scorer_consumes_sparse_synergy(self, fitted_dense):
+        module, x, graph = fitted_dense
+        sparse_cfg = MDGCNConfig(**{
+            **module.config.to_dict(), "propagation_backend": "sparse"
+        })
+        rebuilt = MDModule.from_state(sparse_cfg, module.export_state(), graph)
+        scorer = BatchScorer.from_md_module(rebuilt)
+        assert sparse_backend.is_sparse(scorer.synergy)
+        np.testing.assert_allclose(
+            scorer.scores(x[:9]), module.predict_scores(x[:9]), atol=ATOL
+        )
+        np.testing.assert_array_equal(
+            scorer.treatment_for(x[:9]), module.treatment_for(x[:9])
+        )
+
+    @pytest.mark.parametrize("backbone", ["gin", "sgcn"])
+    def test_ddi_fit_across_backends(self, backbone):
+        rng = np.random.default_rng(11)
+        _x, _y, _z, graph = _small_cohort(rng, n=20)
+        embeddings = {}
+        for backend in ("dense", "sparse"):
+            cfg = DDIGCNConfig(
+                backbone=backbone, hidden_dim=8, num_layers=2, epochs=5,
+                zero_edge_ratio=0.5, propagation_backend=backend,
+            )
+            module = DDIModule(cfg)
+            module.fit(graph)
+            embeddings[backend] = module.drug_embeddings()
+        np.testing.assert_allclose(
+            embeddings["sparse"], embeddings["dense"], atol=ATOL
+        )

@@ -23,7 +23,7 @@ SUBPACKAGES = [
 
 class TestPackage:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     @pytest.mark.parametrize("name", SUBPACKAGES)
     def test_subpackage_imports(self, name):
