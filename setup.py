@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "DSSDDI: Decision Support System for Chronic Diseases Based on "
         "Drug-Drug Interactions (ICDE 2023) - full reproduction"
@@ -18,4 +18,11 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    entry_points={
+        "console_scripts": [
+            # The experiment pipeline CLI; equivalently:
+            #   python -m repro.pipeline
+            "repro=repro.pipeline.cli:main",
+        ]
+    },
 )

@@ -19,12 +19,13 @@ Package layout (see DESIGN.md for the full inventory):
 * ``repro.metrics`` -- Precision/Recall/NDCG@k, SS@k, similarity analysis
 * ``repro.serving`` -- model persistence + the batched SuggestionService
 * ``repro.experiments`` -- regeneration harness for every table and figure
+* ``repro.pipeline`` -- cached, parallel experiment pipeline (``repro`` CLI)
 """
 
 from .core import DSSDDI, DSSDDIConfig
 from .data import generate_chronic_cohort, generate_ddi, generate_mimic, split_patients
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .serving import SuggestionService  # noqa: E402  (needs __version__)
 

@@ -53,6 +53,7 @@ class DDIGCNConfig(_SerializableConfig):
     seed: int = 41
 
     def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range hyperparameters."""
         if self.backbone not in BACKBONES:
             raise ValueError(f"backbone must be one of {BACKBONES}, got {self.backbone!r}")
         if self.propagation_backend not in PROPAGATION_BACKENDS:
@@ -95,6 +96,7 @@ class MDGCNConfig(_SerializableConfig):
     seed: int = 43
 
     def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range hyperparameters."""
         if self.drug_embedding_mode not in DRUG_EMBEDDING_MODES:
             raise ValueError(
                 f"drug_embedding_mode must be one of {DRUG_EMBEDDING_MODES}, "
@@ -127,6 +129,7 @@ class MSConfig(_SerializableConfig):
     size_budget: int = 60  # bulk-growth cap in Algorithm 1
 
     def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range hyperparameters."""
         if not 0.0 < self.alpha < 1.0:
             raise ValueError("alpha must be in (0, 1)")
         if self.size_budget < 1:
@@ -155,6 +158,7 @@ class ServingConfig(_SerializableConfig):
     hard_exclude: bool = False
 
     def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range serving knobs."""
         if self.explanation_cache_size < 0:
             raise ValueError("explanation_cache_size must be >= 0")
         if self.default_k < 1:
@@ -178,6 +182,7 @@ class DSSDDIConfig:
     serving: ServingConfig = field(default_factory=ServingConfig)
 
     def validate(self) -> None:
+        """Validate all four sections."""
         self.ddi.validate()
         self.md.validate()
         self.ms.validate()

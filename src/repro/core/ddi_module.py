@@ -38,6 +38,7 @@ class DDITrainingLog:
 
     @property
     def final_loss(self) -> float:
+        """Loss of the last training epoch."""
         return self.losses[-1]
 
 

@@ -63,6 +63,7 @@ class MDTrainingLog:
 
     @property
     def final_loss(self) -> float:
+        """Factual BCE of the last training epoch."""
         return self.factual_losses[-1]
 
 

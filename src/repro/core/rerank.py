@@ -40,6 +40,7 @@ class RerankConfig:
     hard_exclude: bool = False
 
     def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range knobs."""
         if self.synergy_bonus < 0 or self.antagonism_penalty < 0:
             raise ValueError("bonus and penalty must be non-negative")
 

@@ -229,10 +229,12 @@ class DSSDDI:
 
     # ------------------------------------------------------------------
     def patient_representations(self, patient_features: np.ndarray) -> np.ndarray:
+        """Pre-propagation patient representations h_u (what the decoder sees)."""
         self._require_fitted()
         return self.md_module.patient_representations(patient_features)
 
     def drug_representations(self) -> np.ndarray:
+        """Final drug representations h'_v (propagated + DDI embedding)."""
         self._require_fitted()
         return self.md_module.drug_representations()
 

@@ -15,6 +15,14 @@
 Run from the command line::
 
     python -m repro.experiments table1 --scale small
+
+or — cached and parallel — through the pipeline CLI (the fit/score/metric
+phases of every experiment are registered as :mod:`repro.pipeline` stages
+at import time; shared work like the DSSDDI(SGCN) fit is computed once
+and reused across table1/table3/fig7/fig8/fig9)::
+
+    repro run table1 --scale small
+    repro run all --jobs 4
 """
 
 from .common import (

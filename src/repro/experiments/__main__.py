@@ -12,9 +12,12 @@ from .table2 import main as main_table2
 from .table3 import main as main_table3
 from .table4 import main as main_table4
 
+# Every entry point takes the scale preset name — fig2's cohort size and
+# seed follow it, fig3 accepts (and documents ignoring) it, so ``all``
+# threads --scale uniformly instead of dropping it for the figures.
 EXPERIMENTS = {
-    "fig2": lambda scale: main_fig2(),
-    "fig3": lambda scale: main_fig3(),
+    "fig2": main_fig2,
+    "fig3": main_fig3,
     "table1": main_table1,
     "table2": main_table2,
     "table3": main_table3,
@@ -26,15 +29,20 @@ EXPERIMENTS = {
 
 
 def main(argv=None) -> int:
+    """Argparse entry; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate a table or figure of the DSSDDI paper.",
+        description=(
+            "Regenerate a table or figure of the DSSDDI paper. "
+            "For cached, parallel runs use the 'repro' pipeline CLI "
+            "(python -m repro.pipeline) instead."
+        ),
     )
     parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
     parser.add_argument(
         "--scale",
         default="small",
-        choices=["small", "medium", "full"],
+        choices=["tiny", "small", "medium", "full"],
         help="cohort size / training length preset (default: small)",
     )
     args = parser.parse_args(argv)

@@ -18,6 +18,7 @@ from ..baselines import ECC, GCMCRecommender, LightGCNRecommender, SVMRecommende
 from ..core import DSSDDI, Explanation, MSModule
 from ..data import drug_names
 from ..metrics import top_k_indices
+from ..pipeline import experiment, stage
 from .common import ChronicExperimentData, Scale, dssddi_config, format_table, load_chronic
 
 
@@ -43,9 +44,15 @@ def run_fig8(
     scale: Optional[Scale] = None,
     data: Optional[ChronicExperimentData] = None,
     k: int = 3,
+    system: Optional[DSSDDI] = None,
+    lightgcn: Optional[LightGCNRecommender] = None,
 ) -> Fig8Result:
     """Suggest k drugs for a cardiovascular patient with every method and
-    explain each suggestion through the MS module."""
+    explain each suggestion through the MS module.
+
+    ``system`` / ``lightgcn`` accept already-fitted models (the pipeline's
+    shared fit stages) and skip the corresponding training runs.
+    """
     scale = scale or Scale.small()
     data = data or load_chronic(scale)
     cohort = data.cohort
@@ -58,8 +65,9 @@ def run_fig8(
     patient = int(candidates[0])
     x_patient = data.x_test[patient : patient + 1]
 
-    system = DSSDDI(dssddi_config(scale, "sgcn"))
-    system.fit(data.x_train, data.y_train, cohort.ddi)
+    if system is None:
+        system = DSSDDI(dssddi_config(scale, "sgcn"))
+        system.fit(data.x_train, data.y_train, cohort.ddi)
     ms = MSModule(cohort.ddi.graph)
     names = drug_names(cohort.catalog)
 
@@ -68,13 +76,15 @@ def run_fig8(
     }
     h = max(16, scale.hidden_dim // 2)
     baselines = {
-        "LightGCN": LightGCNRecommender(hidden_dim=h, epochs=scale.gnn_epochs),
+        "LightGCN": lightgcn
+        or LightGCNRecommender(hidden_dim=h, epochs=scale.gnn_epochs),
         "GCMC": GCMCRecommender(hidden_dim=h, out_dim=h, epochs=scale.gnn_epochs),
         "SVM": SVMRecommender(epochs=max(10, scale.classic_epochs // 2)),
         "ECC": ECC(num_chains=2, max_iter=scale.classic_epochs),
     }
     for name, model in baselines.items():
-        model.fit(data.x_train, data.y_train)
+        if name != "LightGCN" or lightgcn is None:
+            model.fit(data.x_train, data.y_train)
         suggestion = top_k_indices(model.predict_scores(x_patient), k)[0].tolist()
         explanations[name] = ms.explain(suggestion, drug_names=names)
     return Fig8Result(patient_index=patient, explanations=explanations)
@@ -115,9 +125,12 @@ class CaseStudy:
 
 @dataclass
 class Fig9Result:
+    """The four rank-movement case studies (w/ DDI vs w/o DDI)."""
+
     cases: List[CaseStudy]
 
     def render(self) -> str:
+        """All case tables, blank-line separated."""
         return "\n\n".join(case.render() for case in self.cases)
 
 
@@ -129,24 +142,28 @@ def _rank_of(scores_row: np.ndarray, drug: int) -> int:
 def run_fig9(
     scale: Optional[Scale] = None,
     data: Optional[ChronicExperimentData] = None,
+    with_system: Optional[DSSDDI] = None,
 ) -> Fig9Result:
     """Regenerate the four DDI case studies.
 
     Trains DSSDDI twice — with the DDI embedding ("w/ DDI") and with the
     ``none`` ablation ("w/o DDI") — and tracks how the paper's pinned
-    case-study drugs move between the two rankings.
+    case-study drugs move between the two rankings.  ``with_system``
+    accepts the already-fitted "w/ DDI" system (the pipeline's shared
+    SGCN fit); the "w/o DDI" ablation is always fitted here.
     """
     scale = scale or Scale.small()
     data = data or load_chronic(scale)
     cohort = data.cohort
     names = drug_names(cohort.catalog)
 
-    with_cfg = dssddi_config(scale, "sgcn")
     without_cfg = dssddi_config(scale, "sgcn")
     without_cfg.md.drug_embedding_mode = "none"
 
-    with_sys = DSSDDI(with_cfg)
-    with_sys.fit(data.x_train, data.y_train, cohort.ddi)
+    with_sys = with_system
+    if with_sys is None:
+        with_sys = DSSDDI(dssddi_config(scale, "sgcn"))
+        with_sys.fit(data.x_train, data.y_train, cohort.ddi)
     without_sys = DSSDDI(without_cfg)
     without_sys.fit(data.x_train, data.y_train, cohort.ddi)
 
@@ -215,7 +232,28 @@ def run_fig9(
     return Fig9Result(cases=cases)
 
 
+# ----------------------------------------------------------------------
+# Pipeline stages
+# ----------------------------------------------------------------------
+@experiment("fig8", stage="fig8.result", title="Fig. 8 - explanation subgraphs")
+@stage(
+    "fig8.result",
+    inputs=("chronic.data", "chronic.fit.dssddi_sgcn", "chronic.fit.lightgcn"),
+)
+def stage_fig8(ctx, data, system, lightgcn) -> Fig8Result:
+    """Pipeline stage reusing the shared DSSDDI(SGCN) and LightGCN fits."""
+    return run_fig8(scale=ctx.scale, data=data, system=system, lightgcn=lightgcn)
+
+
+@experiment("fig9", stage="fig9.result", title="Fig. 9 - DDI rank-movement case studies")
+@stage("fig9.result", inputs=("chronic.data", "chronic.fit.dssddi_sgcn"))
+def stage_fig9(ctx, data, system) -> Fig9Result:
+    """Pipeline stage reusing the shared "w/ DDI" SGCN fit."""
+    return run_fig9(scale=ctx.scale, data=data, with_system=system)
+
+
 def main_fig8(scale_name: str = "small") -> Fig8Result:
+    """Legacy entry point (``python -m repro.experiments fig8``)."""
     result = run_fig8(Scale.by_name(scale_name))
     print("Fig. 8 - explanation subgraphs")
     print(result.render())
@@ -223,6 +261,7 @@ def main_fig8(scale_name: str = "small") -> Fig8Result:
 
 
 def main_fig9(scale_name: str = "small") -> Fig9Result:
+    """Legacy entry point (``python -m repro.experiments fig9``)."""
     result = run_fig9(Scale.by_name(scale_name))
     print("Fig. 9 - DDI rank-movement case studies")
     print(result.render())

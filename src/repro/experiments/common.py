@@ -74,20 +74,30 @@ class Scale:
 
     @classmethod
     def small(cls) -> "Scale":
+        """Default preset: minutes per experiment, paper orderings hold."""
         return cls("small", 300, 120, 200, 250, 32)
 
     @classmethod
     def medium(cls) -> "Scale":
+        """Intermediate preset between ``small`` and the paper's setup."""
         return cls("medium", 800, 180, 300, 400, 48)
 
     @classmethod
     def full(cls) -> "Scale":
+        """The paper's setup (Sec. V-A3): 4157 patients, 1000/400 epochs."""
         return cls("full", 4157, 300, 400, 1000, 64)
 
     @classmethod
     def by_name(cls, name: str) -> "Scale":
+        """Preset lookup used by the CLIs (``tiny``/``small``/``medium``/``full``)."""
+        presets = {
+            "tiny": cls.tiny,
+            "small": cls.small,
+            "medium": cls.medium,
+            "full": cls.full,
+        }
         try:
-            return {"small": cls.small, "medium": cls.medium, "full": cls.full}[name]()
+            return presets[name]()
         except KeyError:
             raise ValueError(f"unknown scale {name!r}") from None
 
@@ -150,10 +160,26 @@ def dssddi_config(scale: Scale, backbone: str) -> DSSDDIConfig:
     )
 
 
+#: Methods that consume the *raw* questionnaire numerics (see
+#: :class:`ChronicExperimentData`); everything else takes standardized
+#: features.
+TRADITIONAL_METHODS = ("UserSim", "ECC", "SVM")
+
+
 def make_method_factories(
-    data: ChronicExperimentData, scale: Scale
+    data: ChronicExperimentData,
+    scale: Scale,
+    prefit: Optional[Dict[str, object]] = None,
 ) -> Dict[str, Callable[[], np.ndarray]]:
-    """Factories producing the held-out score matrix per method."""
+    """Factories producing the held-out score matrix per method.
+
+    ``prefit`` maps method names to already-fitted models (anything with
+    ``predict_scores``); those factories skip fitting and only score the
+    held-out patients.  The pipeline uses this to share one DSSDDI(SGCN)
+    / LightGCN fit across every experiment that needs it — the scores are
+    identical to a fresh fit because every model is seeded through its
+    config.
+    """
     cohort = data.cohort
 
     def run_baseline(model) -> np.ndarray:
@@ -172,7 +198,7 @@ def make_method_factories(
         return system.predict_scores(data.x_test)
 
     h = max(16, scale.hidden_dim // 2)
-    return {
+    factories = {
         "UserSim": lambda: run_traditional(UserSim()),
         "ECC": lambda: run_traditional(ECC(num_chains=2, max_iter=scale.classic_epochs)),
         "SVM": lambda: run_traditional(SVMRecommender(epochs=max(10, scale.classic_epochs // 2))),
@@ -192,20 +218,83 @@ def make_method_factories(
         "DSSDDI(GIN)": lambda: run_dssddi("gin"),
         "DSSDDI(SGCN)": lambda: run_dssddi("sgcn"),
     }
+    for name, model in (prefit or {}).items():
+        if name not in factories:
+            raise ValueError(f"unknown prefit method {name!r}")
+        test = data.raw_test if name in TRADITIONAL_METHODS else data.x_test
+        factories[name] = lambda m=model, t=test: m.predict_scores(t)
+    return factories
 
 
 def run_methods(
     data: ChronicExperimentData,
     scale: Scale,
     methods: Optional[Sequence[str]] = None,
+    prefit: Optional[Dict[str, object]] = None,
 ) -> Dict[str, np.ndarray]:
-    """Run the requested methods (default: the full Table I roster)."""
-    factories = make_method_factories(data, scale)
+    """Run the requested methods (default: the full Table I roster).
+
+    ``prefit`` forwards to :func:`make_method_factories` — fitted models
+    keyed by method name whose fit phase should be skipped.
+    """
+    factories = make_method_factories(data, scale, prefit=prefit)
     chosen = list(methods) if methods is not None else list(TABLE1_METHODS)
     unknown = set(chosen) - set(factories)
     if unknown:
         raise ValueError(f"unknown methods: {sorted(unknown)}")
     return {name: factories[name]() for name in chosen}
+
+
+# ----------------------------------------------------------------------
+# Shared pipeline stages (repro.pipeline)
+#
+# The expensive work every chronic-data experiment repeats: generating
+# the cohort, fitting DSSDDI(SGCN) (the best backbone — reused by
+# table1, table3, fig7, fig8 and fig9), fitting LightGCN (table1,
+# table3, fig7, fig8) and producing the full per-method score matrices
+# (table1 and table3 evaluate the same suggestions under two metric
+# families).  Each experiment module registers its own metric stage on
+# top of these.
+# ----------------------------------------------------------------------
+from ..pipeline import stage  # noqa: E402  (grouped with the stage defs)
+
+
+@stage("chronic.data", params=("scale",), cacheable=False)
+def stage_chronic_data(ctx) -> ChronicExperimentData:
+    """Seeded cohort + 5:3:2 split (recomputing beats deserializing)."""
+    return load_chronic(ctx.scale)
+
+
+@stage("chronic.fit.dssddi_sgcn", inputs=("chronic.data",), serializer="dssddi")
+def stage_fit_dssddi_sgcn(ctx, data: ChronicExperimentData) -> DSSDDI:
+    """Fit DSSDDI(SGCN) once; cached via the serving artifact format."""
+    system = DSSDDI(dssddi_config(ctx.scale, "sgcn"))
+    system.fit(data.x_train, data.y_train, data.cohort.ddi)
+    return system
+
+
+@stage("chronic.fit.lightgcn", inputs=("chronic.data",), serializer="pickle")
+def stage_fit_lightgcn(ctx, data: ChronicExperimentData) -> LightGCNRecommender:
+    """Fit the LightGCN baseline with the harness hyperparameters."""
+    model = LightGCNRecommender(
+        hidden_dim=max(16, ctx.scale.hidden_dim // 2), epochs=ctx.scale.gnn_epochs
+    )
+    model.fit(data.x_train, data.y_train)
+    return model
+
+
+@stage(
+    "chronic.scores",
+    inputs=("chronic.data", "chronic.fit.dssddi_sgcn", "chronic.fit.lightgcn"),
+    serializer="npz",
+)
+def stage_chronic_scores(ctx, data, dssddi_sgcn, lightgcn) -> Dict[str, np.ndarray]:
+    """Held-out score matrices of the full Table I roster (12 methods)."""
+    return run_methods(
+        data,
+        ctx.scale,
+        prefit={"DSSDDI(SGCN)": dssddi_sgcn, "LightGCN": lightgcn},
+    )
 
 
 def format_table(

@@ -16,6 +16,7 @@ from ..baselines import LightGCNRecommender
 from ..core import DSSDDI
 from ..data import build_catalog, drugs_by_disease, generate_chronic_cohort
 from ..metrics import cosine_similarity_matrix, offdiagonal_mean
+from ..pipeline import experiment, stage
 from .common import ChronicExperimentData, Scale, dssddi_config, format_table, load_chronic
 
 
@@ -24,6 +25,8 @@ from .common import ChronicExperimentData, Scale, dssddi_config, format_table, l
 # ----------------------------------------------------------------------
 @dataclass
 class Fig2Result:
+    """Disease composition of the cohort (``disease -> share``)."""
+
     shares: Dict[str, float]  # disease -> share of disease occurrences
 
     def render(self) -> str:
@@ -50,6 +53,8 @@ def run_fig2(num_patients: int = 4157, seed: int = 11) -> Fig2Result:
 # ----------------------------------------------------------------------
 @dataclass
 class Fig3Result:
+    """Catalog size per disease (``disease -> number of drugs``)."""
+
     counts: Dict[str, int]  # disease -> number of catalog drugs
 
     def render(self) -> str:
@@ -102,22 +107,28 @@ def run_fig7(
     scale: Optional[Scale] = None,
     data: Optional[ChronicExperimentData] = None,
     sample_patients: int = 100,
+    system: Optional[DSSDDI] = None,
+    lightgcn: Optional[LightGCNRecommender] = None,
 ) -> Fig7Result:
     """Train DSSDDI(SGCN) and LightGCN; compare representation similarity.
 
     DSSDDI's patient representations are taken *before* propagation (what
     its decoder consumes); LightGCN's are the post-propagation embeddings.
+    ``system`` / ``lightgcn`` accept already-fitted models (the pipeline's
+    shared fit stages) and skip the corresponding training runs.
     """
     scale = scale or Scale.small()
     data = data or load_chronic(scale)
 
-    system = DSSDDI(dssddi_config(scale, "sgcn"))
-    system.fit(data.x_train, data.y_train, data.cohort.ddi)
+    if system is None:
+        system = DSSDDI(dssddi_config(scale, "sgcn"))
+        system.fit(data.x_train, data.y_train, data.cohort.ddi)
 
-    lightgcn = LightGCNRecommender(
-        hidden_dim=max(16, scale.hidden_dim // 2), epochs=scale.gnn_epochs
-    )
-    lightgcn.fit(data.x_train, data.y_train)
+    if lightgcn is None:
+        lightgcn = LightGCNRecommender(
+            hidden_dim=max(16, scale.hidden_dim // 2), epochs=scale.gnn_epochs
+        )
+        lightgcn.fit(data.x_train, data.y_train)
 
     take = min(sample_patients, len(data.split.test))
     x_sample = data.x_test[:take]
@@ -185,14 +196,50 @@ def run_fig7(
     )
 
 
-def main_fig2() -> Fig2Result:
-    result = run_fig2()
+# ----------------------------------------------------------------------
+# Pipeline stages
+# ----------------------------------------------------------------------
+@experiment("fig2", stage="fig2.result", title="Fig. 2 - disease composition")
+@stage("fig2.result", params=("scale",), serializer="pickle")
+def stage_fig2(ctx) -> Fig2Result:
+    """Pipeline stage: cohort composition at the run's scale."""
+    return run_fig2(num_patients=ctx.scale.num_patients, seed=ctx.scale.seed)
+
+
+@experiment("fig3", stage="fig3.result", title="Fig. 3 - medications per disease")
+@stage("fig3.result", params=(), serializer="pickle")
+def stage_fig3(ctx) -> Fig3Result:
+    """Pipeline stage: catalog counts (scale-independent — ``params=()``,
+    so every scale shares one cache entry)."""
+    return run_fig3()
+
+
+@experiment(
+    "fig7", stage="fig7.result",
+    title="Fig. 7 - representation similarity (off-diagonal mean cosine)",
+)
+@stage(
+    "fig7.result",
+    inputs=("chronic.data", "chronic.fit.dssddi_sgcn", "chronic.fit.lightgcn"),
+)
+def stage_fig7(ctx, data, system, lightgcn) -> Fig7Result:
+    """Pipeline stage reusing the shared DSSDDI(SGCN) and LightGCN fits."""
+    return run_fig7(scale=ctx.scale, data=data, system=system, lightgcn=lightgcn)
+
+
+def main_fig2(scale_name: str = "small") -> Fig2Result:
+    """Legacy entry point; the cohort size/seed follow ``--scale``."""
+    scale = Scale.by_name(scale_name)
+    result = run_fig2(num_patients=scale.num_patients, seed=scale.seed)
     print("Fig. 2 - disease composition")
     print(result.render())
     return result
 
 
-def main_fig3() -> Fig3Result:
+def main_fig3(scale_name: str = "small") -> Fig3Result:
+    """Legacy entry point; accepts ``--scale`` for CLI uniformity (the
+    86-drug catalog is scale-independent)."""
+    del scale_name
     result = run_fig3()
     print("Fig. 3 - medications per disease")
     print(result.render())
@@ -200,6 +247,7 @@ def main_fig3() -> Fig3Result:
 
 
 def main_fig7(scale_name: str = "small") -> Fig7Result:
+    """Legacy entry point (``python -m repro.experiments fig7``)."""
     result = run_fig7(Scale.by_name(scale_name))
     print("Fig. 7 - representation similarity (off-diagonal mean cosine)")
     print(result.render())

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..metrics import ndcg_at_k, precision_at_k, recall_at_k
+from ..pipeline import experiment, stage
 from .common import (
     ChronicExperimentData,
     Scale,
@@ -49,16 +50,12 @@ class Table1Result:
         return format_table(headers, rows)
 
 
-def run_table1(
-    scale: Optional[Scale] = None,
-    methods: Optional[Sequence[str]] = None,
-    data: Optional[ChronicExperimentData] = None,
+def compute_table1(
+    data: ChronicExperimentData,
+    scores: Dict[str, np.ndarray],
     ks: Sequence[int] = KS,
 ) -> Table1Result:
-    """Regenerate Table I (optionally a subset of methods / smaller scale)."""
-    scale = scale or Scale.small()
-    data = data or load_chronic(scale)
-    scores = run_methods(data, scale, methods)
+    """Metric phase: P/R/NDCG@k per method from held-out score matrices."""
     metrics: Dict[str, Dict[int, Dict[str, float]]] = {}
     for name, score in scores.items():
         metrics[name] = {
@@ -72,7 +69,31 @@ def run_table1(
     return Table1Result(metrics=metrics, scores=scores)
 
 
+def run_table1(
+    scale: Optional[Scale] = None,
+    methods: Optional[Sequence[str]] = None,
+    data: Optional[ChronicExperimentData] = None,
+    ks: Sequence[int] = KS,
+) -> Table1Result:
+    """Regenerate Table I (optionally a subset of methods / smaller scale)."""
+    scale = scale or Scale.small()
+    data = data or load_chronic(scale)
+    scores = run_methods(data, scale, methods)
+    return compute_table1(data, scores, ks=ks)
+
+
+@experiment(
+    "table1", stage="table1.result",
+    title="Table I - medication suggestion (chronic data)",
+)
+@stage("table1.result", inputs=("chronic.data", "chronic.scores"))
+def stage_table1(ctx, data: ChronicExperimentData, scores) -> Table1Result:
+    """Pipeline metric stage over the shared score matrices."""
+    return compute_table1(data, scores, ks=KS)
+
+
 def main(scale_name: str = "small") -> Table1Result:
+    """Legacy entry point (``python -m repro.experiments table1``)."""
     result = run_table1(Scale.by_name(scale_name))
     print("Table I - medication suggestion (chronic data)")
     print(result.render())

@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..metrics import mean_satisfaction_at_k
+from ..pipeline import experiment, stage
 from .common import (
     ChronicExperimentData,
     Scale,
@@ -25,6 +26,8 @@ KS = (2, 3, 4, 5, 6)
 
 @dataclass
 class Table3Result:
+    """satisfaction[method][k] = mean SS@k over the evaluated patients."""
+
     satisfaction: Dict[str, Dict[int, float]]
 
     def best_method_at(self, k: int) -> str:
@@ -58,6 +61,16 @@ def run_table3(
     data = data or load_chronic(scale)
     if scores is None:
         scores = run_methods(data, scale, methods)
+    return compute_table3(data, scores, ks=ks, max_patients=max_patients)
+
+
+def compute_table3(
+    data: ChronicExperimentData,
+    scores: Dict[str, np.ndarray],
+    ks: Sequence[int] = KS,
+    max_patients: int = 40,
+) -> Table3Result:
+    """Metric phase: SS@k per method over shared score matrices."""
     graph = data.cohort.ddi.graph
     satisfaction = {
         name: {
@@ -69,7 +82,19 @@ def run_table3(
     return Table3Result(satisfaction=satisfaction)
 
 
+@experiment(
+    "table3", stage="table3.result",
+    title="Table III - Suggestion Satisfaction",
+)
+@stage("table3.result", inputs=("chronic.data", "chronic.scores"))
+def stage_table3(ctx, data: ChronicExperimentData, scores) -> Table3Result:
+    """Pipeline metric stage — reuses the Table I score matrices (the
+    paper evaluates the same suggestions under both metric families)."""
+    return compute_table3(data, scores, ks=KS)
+
+
 def main(scale_name: str = "small") -> Table3Result:
+    """Legacy entry point (``python -m repro.experiments table3``)."""
     result = run_table3(Scale.by_name(scale_name))
     print("Table III - Suggestion Satisfaction")
     print(result.render())

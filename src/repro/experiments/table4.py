@@ -10,7 +10,7 @@ exactly as in the paper.  Metrics: P/R/NDCG at k in {4, 6, 8}.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,8 +26,15 @@ from ..baselines import (
 )
 from ..core import DDIModule, MDModule
 from ..core.config import DDIGCNConfig, MDGCNConfig
-from ..data import MimicDataset, generate_mimic, split_patients, visit_step_features
+from ..data import (
+    MimicDataset,
+    Split,
+    generate_mimic,
+    split_patients,
+    visit_step_features,
+)
 from ..metrics import ndcg_at_k, precision_at_k, recall_at_k
+from ..pipeline import experiment, stage
 from .common import Scale, format_table
 
 KS = (4, 6, 8)
@@ -47,6 +54,8 @@ TABLE4_METHODS = (
 
 @dataclass
 class Table4Result:
+    """metric[method][k] = {precision, recall, ndcg} on synthetic MIMIC."""
+
     metrics: Dict[str, Dict[int, Dict[str, float]]]
     scores: Dict[str, np.ndarray]
 
@@ -93,22 +102,55 @@ def _dssddi_gin_scores(
     return md.predict_scores(data.features[test_idx])
 
 
-def run_table4(
-    scale: Optional[Scale] = None,
-    methods: Optional[Sequence[str]] = None,
-    num_patients: Optional[int] = None,
-    ks: Sequence[int] = KS,
-) -> Table4Result:
-    """Regenerate Table IV at the requested scale."""
-    scale = scale or Scale.small()
+@dataclass
+class MimicExperimentData:
+    """Synthetic MIMIC cohort + split + visit-step feature views."""
+
+    data: MimicDataset
+    split: Split
+    steps_all: List[np.ndarray]
+
+    @property
+    def x_train(self) -> np.ndarray:
+        """Training-visit features of the train patients."""
+        return self.data.features[self.split.train]
+
+    @property
+    def y_train(self) -> np.ndarray:
+        """Last-visit medication labels of the train patients."""
+        return self.data.labels[self.split.train]
+
+    @property
+    def x_test(self) -> np.ndarray:
+        """Training-visit features of the held-out patients."""
+        return self.data.features[self.split.test]
+
+    @property
+    def y_test(self) -> np.ndarray:
+        """Last-visit medication labels of the held-out patients."""
+        return self.data.labels[self.split.test]
+
+
+def load_mimic(scale: Scale, num_patients: Optional[int] = None) -> MimicExperimentData:
+    """Generate the synthetic MIMIC cohort at the requested scale."""
     n = num_patients or min(scale.num_patients * 2, 6350)
     data = generate_mimic(num_patients=n, seed=scale.seed + 7)
     split = split_patients(n, seed=scale.seed + 8)
-    x_train, y_train = data.features[split.train], data.labels[split.train]
-    x_test, y_test = data.features[split.test], data.labels[split.test]
     steps_all = visit_step_features(data, max_visits=3)
-    steps_train = [s[split.train] for s in steps_all]
-    steps_test = [s[split.test] for s in steps_all]
+    return MimicExperimentData(data=data, split=split, steps_all=steps_all)
+
+
+def compute_table4_scores(
+    bundle: MimicExperimentData,
+    scale: Scale,
+    methods: Optional[Sequence[str]] = None,
+) -> Dict[str, np.ndarray]:
+    """Fit/score phase: held-out score matrix per Table IV method."""
+    data, split = bundle.data, bundle.split
+    x_train, y_train = bundle.x_train, bundle.y_train
+    x_test = bundle.x_test
+    steps_train = [s[split.train] for s in bundle.steps_all]
+    steps_test = [s[split.test] for s in bundle.steps_all]
 
     h = max(16, scale.hidden_dim // 2)
 
@@ -140,12 +182,18 @@ def run_table4(
     unknown = set(chosen) - set(factories)
     if unknown:
         raise ValueError(f"unknown methods: {sorted(unknown)}")
+    return {name: factories[name]() for name in chosen}
 
+
+def compute_table4(
+    bundle: MimicExperimentData,
+    scores: Dict[str, np.ndarray],
+    ks: Sequence[int] = KS,
+) -> Table4Result:
+    """Metric phase: P/R/NDCG@k per method on the MIMIC held-out split."""
+    y_test = bundle.y_test
     metrics: Dict[str, Dict[int, Dict[str, float]]] = {}
-    scores: Dict[str, np.ndarray] = {}
-    for name in chosen:
-        score = factories[name]()
-        scores[name] = score
+    for name, score in scores.items():
         metrics[name] = {
             k: {
                 "precision": precision_at_k(score, y_test, k),
@@ -157,7 +205,43 @@ def run_table4(
     return Table4Result(metrics=metrics, scores=scores)
 
 
+def run_table4(
+    scale: Optional[Scale] = None,
+    methods: Optional[Sequence[str]] = None,
+    num_patients: Optional[int] = None,
+    ks: Sequence[int] = KS,
+) -> Table4Result:
+    """Regenerate Table IV at the requested scale."""
+    scale = scale or Scale.small()
+    bundle = load_mimic(scale, num_patients=num_patients)
+    scores = compute_table4_scores(bundle, scale, methods)
+    return compute_table4(bundle, scores, ks=ks)
+
+
+@stage("table4.data", params=("scale",), cacheable=False)
+def stage_table4_data(ctx) -> MimicExperimentData:
+    """Seeded MIMIC cohort + split (recomputing beats deserializing)."""
+    return load_mimic(ctx.scale)
+
+
+@stage("table4.scores", inputs=("table4.data",), serializer="npz")
+def stage_table4_scores(ctx, bundle: MimicExperimentData) -> Dict[str, np.ndarray]:
+    """Pipeline fit/score stage (the nine Table IV methods)."""
+    return compute_table4_scores(bundle, ctx.scale)
+
+
+@experiment(
+    "table4", stage="table4.result",
+    title="Table IV - medication suggestion (synthetic MIMIC-III)",
+)
+@stage("table4.result", inputs=("table4.data", "table4.scores"))
+def stage_table4(ctx, bundle: MimicExperimentData, scores) -> Table4Result:
+    """Pipeline metric stage over the cached MIMIC scores."""
+    return compute_table4(bundle, scores, ks=KS)
+
+
 def main(scale_name: str = "small") -> Table4Result:
+    """Legacy entry point (``python -m repro.experiments table4``)."""
     result = run_table4(Scale.by_name(scale_name))
     print("Table IV - medication suggestion (synthetic MIMIC-III)")
     print(result.render())

@@ -85,6 +85,7 @@ def use_backend(backend: str) -> Iterator[None]:
 
 
 def get_density_threshold() -> float:
+    """The current density cut-off of the auto policy."""
     return _density_threshold
 
 

@@ -1,0 +1,93 @@
+"""Experiment pipeline: declarative stages, disk caching, run manifests.
+
+The paper's nine tables and figures share most of their expensive work —
+the same cohort, the same DSSDDI(SGCN) fit, the same per-method score
+matrices.  This package turns each experiment into a small DAG of
+registered *stages* so that shared work is computed once, cached on disk
+and reused across experiments and invocations:
+
+* :mod:`repro.pipeline.registry` — the ``@stage`` / ``@experiment``
+  decorators and topological resolution;
+* :mod:`repro.pipeline.cache` — the content-addressed stage cache
+  (fitted systems stored through the PR-1 serving artifact format);
+* :mod:`repro.pipeline.runner` — cached execution of one experiment and
+  ``ProcessPoolExecutor`` fan-out over independent experiments;
+* :mod:`repro.pipeline.manifest` — per-run JSON manifests (config,
+  seed, versions, per-stage timings and digests);
+* :mod:`repro.pipeline.report` — manifests → markdown results report;
+* :mod:`repro.pipeline.cli` — the ``repro`` command
+  (``run`` / ``cache`` / ``report`` / ``list``).
+
+Quickstart::
+
+    from repro.pipeline import PipelineConfig, run_experiment
+
+    result, manifest = run_experiment("table1", PipelineConfig(scale="small"))
+    print(result.render())
+    # second call: fit/score stages served from the cache
+    result, manifest = run_experiment("table1", PipelineConfig(scale="small"))
+    assert manifest.cache_hits > 0
+
+or, from a shell::
+
+    repro run all --jobs 4 --scale small
+    repro report -o RESULTS.md
+
+Stage registration lives next to the experiment code in
+:mod:`repro.experiments`; importing that package (the runner does it
+on demand) populates the registry.
+"""
+
+from .cache import CacheEntry, StageCache, default_cache_dir, stage_key
+from .manifest import RunManifest, StageRecord, library_versions, load_manifests
+from .registry import (
+    ExperimentSpec,
+    StageSpec,
+    experiment,
+    get_experiment,
+    get_stage,
+    list_experiments,
+    list_stages,
+    register_experiment,
+    resolve,
+    stage,
+)
+from .report import render_report
+from .runner import (
+    PipelineConfig,
+    StageContext,
+    all_experiment_names,
+    run_experiment,
+    run_many,
+    shared_stages,
+    warm_shared_stages,
+)
+
+__all__ = [
+    "stage",
+    "experiment",
+    "register_experiment",
+    "StageSpec",
+    "ExperimentSpec",
+    "get_stage",
+    "get_experiment",
+    "list_stages",
+    "list_experiments",
+    "resolve",
+    "StageCache",
+    "CacheEntry",
+    "stage_key",
+    "default_cache_dir",
+    "RunManifest",
+    "StageRecord",
+    "library_versions",
+    "load_manifests",
+    "PipelineConfig",
+    "StageContext",
+    "run_experiment",
+    "run_many",
+    "shared_stages",
+    "warm_shared_stages",
+    "all_experiment_names",
+    "render_report",
+]

@@ -1,0 +1,182 @@
+"""The ``repro`` command line: run experiments, manage the cache, report.
+
+Installed as a console script by ``setup.py`` and runnable without
+installation as ``python -m repro.pipeline``::
+
+    repro run table1 --scale small        # one experiment
+    repro run all --jobs 4 --scale medium # every experiment, 4 workers
+    repro run fig7 --force                # ignore cached stages
+    repro cache ls                        # what is materialized
+    repro cache clear
+    repro report -o RESULTS.md            # manifests -> markdown
+    repro list                            # registered experiments
+
+Every ``run`` prints the rendered paper artifact and a per-stage cache
+summary, and writes a JSON manifest (plus the rendered text) under
+``<cache-dir>/runs/``; see :mod:`repro.pipeline.manifest`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cache import StageCache
+from .registry import list_experiments
+from .report import render_report
+from .runner import PipelineConfig, all_experiment_names, run_many
+
+SCALES = ("tiny", "small", "medium", "full")
+
+
+def _add_cache_dir_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="stage cache root (default: $REPRO_CACHE_DIR or ./.repro_cache)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative experiment pipeline for the DSSDDI reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment or 'all'")
+    run.add_argument(
+        "experiment",
+        help="experiment name (see 'repro list') or 'all'",
+    )
+    run.add_argument("--scale", default="small", choices=SCALES)
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel worker processes for independent experiments",
+    )
+    run.add_argument(
+        "--force", action="store_true",
+        help="re-execute every stage even when cached",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the stage cache entirely (no reads, no writes)",
+    )
+    run.add_argument(
+        "--runs-dir", default=None,
+        help="manifest directory (default: <cache-dir>/runs)",
+    )
+    _add_cache_dir_arg(run)
+
+    cache = sub.add_parser("cache", help="inspect or clear the stage cache")
+    cache.add_argument("action", choices=("ls", "clear"))
+    _add_cache_dir_arg(cache)
+
+    report = sub.add_parser("report", help="render run manifests to markdown")
+    report.add_argument(
+        "--runs-dir", default=None,
+        help="manifest directory (default: <cache-dir>/runs)",
+    )
+    report.add_argument(
+        "-o", "--output", default=None,
+        help="write the markdown here instead of stdout",
+    )
+    report.add_argument(
+        "--no-outputs", action="store_true",
+        help="omit the rendered experiment outputs from the report",
+    )
+    _add_cache_dir_arg(report)
+
+    sub.add_parser("list", help="list registered experiments")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = PipelineConfig(
+        scale=args.scale,
+        cache_dir=args.cache_dir,
+        runs_dir=args.runs_dir,
+        use_cache=not args.no_cache,
+        force=args.force,
+        jobs=args.jobs,
+    )
+    known = all_experiment_names()
+    names = known if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        # Reject bad names up front with a clean usage error; failures
+        # during execution propagate with their traceback instead.
+        print(
+            f"error: unknown experiment {unknown[0]!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_many(names, config)
+    for name, rendered, manifest in results:
+        print(f"\n{'=' * 70}")
+        print(rendered)
+        hits = manifest.cache_hits
+        print(
+            f"[{name}] {len(manifest.stages)} stage(s), {hits} cached, "
+            f"{manifest.total_seconds:.2f}s — manifest {manifest.run_id}.json"
+        )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = StageCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached stage output(s) from {cache.root}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"cache at {cache.root} is empty")
+        return 0
+    print(f"{len(entries)} entrie(s) under {cache.root}:")
+    for e in entries:
+        size_kb = e.size_bytes / 1024
+        print(f"  {e.key}  {e.stage:<28} {e.serializer:<7} {size_kb:9.1f} KiB")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    runs_dir = args.runs_dir or (StageCache(args.cache_dir).root / "runs")
+    text = render_report(runs_dir, include_outputs=not args.no_outputs)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_list() -> int:
+    from .runner import _ensure_registered
+
+    _ensure_registered()
+    for spec in list_experiments():
+        print(f"{spec.name:<8} {spec.title}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_list()
+    except BrokenPipeError:  # e.g. `repro report | head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

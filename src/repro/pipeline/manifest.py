@@ -1,0 +1,139 @@
+"""Per-run JSON manifests: the reproducibility record of a pipeline run.
+
+Every ``repro run`` of one experiment writes ``<runs_dir>/<run_id>.json``
+(plus ``<run_id>.txt`` with the rendered artifact).  The manifest captures
+everything needed to audit or replay the run:
+
+* the experiment name and title, the run id, wall-clock start/end;
+* the resolved configuration (scale preset fields, cache settings) and
+  the seed the scale pins;
+* library versions (python, numpy, repro) — drift shows up here first;
+* one record per executed stage: its cache key, whether it was a cache
+  hit, the seconds it took, and the sha256 digest of its serialized
+  output, so two runs can be compared stage by stage ("the second run's
+  fit stage was a hit and took 0.01s instead of 40s").
+
+``repro report`` (:mod:`repro.pipeline.report`) renders a directory of
+manifests into one markdown results report.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def library_versions() -> Dict[str, str]:
+    """The version triple recorded in every manifest."""
+    import numpy
+
+    from .. import __version__ as repro_version
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "repro": repro_version,
+    }
+
+
+@dataclass
+class StageRecord:
+    """Execution record of one stage within a run."""
+
+    stage: str
+    key: str
+    cache_hit: bool
+    seconds: float
+    cacheable: bool
+    serializer: str
+    digest: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StageRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass
+class RunManifest:
+    """The full record of one experiment run (see module docstring)."""
+
+    run_id: str
+    experiment: str
+    title: str
+    scale: str
+    seed: int
+    config: Dict[str, Any]
+    versions: Dict[str, str] = field(default_factory=library_versions)
+    started_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+    stages: List[StageRecord] = field(default_factory=list)
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock duration (0.0 while the run is still open)."""
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of stages served from the cache."""
+        return sum(1 for s in self.stages if s.cache_hit)
+
+    def finish(self) -> "RunManifest":
+        """Stamp the end time; returns self for chaining."""
+        self.finished_at = time.time()
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (stages included)."""
+        data = asdict(self)
+        data["total_seconds"] = self.total_seconds
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        data = dict(data)
+        data.pop("total_seconds", None)
+        stages = [StageRecord.from_dict(s) for s in data.pop("stages", [])]
+        return cls(stages=stages, **data)
+
+    def save(self, runs_dir: PathLike) -> Path:
+        """Write ``<runs_dir>/<run_id>.json``; returns the path."""
+        runs_dir = Path(runs_dir)
+        runs_dir.mkdir(parents=True, exist_ok=True)
+        path = runs_dir / f"{self.run_id}.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunManifest":
+        """Read one manifest file back."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def load_manifests(runs_dir: PathLike) -> List[RunManifest]:
+    """Every manifest under ``runs_dir``, oldest first."""
+    runs_dir = Path(runs_dir)
+    if not runs_dir.is_dir():
+        return []
+    manifests = [RunManifest.load(p) for p in sorted(runs_dir.glob("*.json"))]
+    manifests.sort(key=lambda m: m.started_at)
+    return manifests

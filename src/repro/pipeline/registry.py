@@ -1,0 +1,206 @@
+"""Stage and experiment registry: the declarative layer of the pipeline.
+
+A *stage* is one named, versioned unit of work (generate a cohort, fit a
+model, compute a metric table) with declared inputs (other stages) and a
+declared parameter subset (which run-configuration knobs affect its
+output).  An *experiment* is a named pointer at the stage whose output is
+a paper artifact (a ``Table*Result`` / ``Fig*Result`` with a ``render()``
+method) plus its display title.
+
+Registration happens at import time through the :func:`stage` and
+:func:`experiment` decorators — importing :mod:`repro.experiments`
+populates the registry with every table and figure of the paper.  The
+scheduler (:mod:`repro.pipeline.runner`) consumes the registry through
+:func:`resolve`, which returns the dependency-closed, topologically
+ordered stage list for an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+#: Serializer names understood by :mod:`repro.pipeline.cache`.
+SERIALIZERS = ("pickle", "json", "npz", "dssddi")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One registered pipeline stage.
+
+    Attributes:
+        name: globally unique dotted name (``"chronic.fit.dssddi_sgcn"``).
+        fn: the stage body, called as ``fn(ctx, *input_values)`` where
+            ``ctx`` is a :class:`repro.pipeline.runner.StageContext` and
+            the input values arrive in ``inputs`` order.
+        inputs: names of the stages whose outputs this stage consumes.
+        params: run-configuration knobs that affect the output (today:
+            ``"scale"``); they are resolved to concrete values and hashed
+            into the cache key, so e.g. ``fig3`` (``params=()``) shares
+            one cache entry across every scale.
+        version: bump to invalidate cached outputs after a code change.
+        serializer: cache representation — ``"dssddi"`` reuses the
+            serving artifact format (`manifest.json` + `arrays.npz`),
+            ``"npz"`` a named-array archive, ``"json"`` plain JSON,
+            ``"pickle"`` the fallback for result dataclasses.
+        cacheable: ``False`` for stages that are cheaper to recompute
+            than to deserialize (the seeded cohort generators); their
+            key still exists so dependents hash correctly.
+    """
+
+    name: str
+    fn: Callable
+    inputs: Tuple[str, ...] = ()
+    params: Tuple[str, ...] = ("scale",)
+    version: int = 1
+    serializer: str = "pickle"
+    cacheable: bool = True
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: a paper artifact built by a stage.
+
+    ``stage`` names the terminal stage; its output must provide a
+    ``render() -> str`` method, which the CLI prints under ``title``.
+    """
+
+    name: str
+    stage: str
+    title: str
+    description: str = ""
+
+
+_STAGES: Dict[str, StageSpec] = {}
+_EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def stage(
+    name: str,
+    inputs: Sequence[str] = (),
+    params: Sequence[str] = ("scale",),
+    version: int = 1,
+    serializer: str = "pickle",
+    cacheable: bool = True,
+) -> Callable[[Callable], Callable]:
+    """Register the decorated function as a pipeline stage.
+
+    The function itself is returned unchanged, so modules can keep
+    calling it directly (the legacy ``run_*`` entry points do).
+    """
+    if serializer not in SERIALIZERS:
+        raise ValueError(f"serializer must be one of {SERIALIZERS}, got {serializer!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        if name in _STAGES:
+            raise ValueError(f"stage {name!r} is already registered")
+        _STAGES[name] = StageSpec(
+            name=name,
+            fn=fn,
+            inputs=tuple(inputs),
+            params=tuple(params),
+            version=version,
+            serializer=serializer,
+            cacheable=cacheable,
+        )
+        return fn
+
+    return decorate
+
+
+def experiment(
+    name: str, stage: str, title: str, description: str = ""
+) -> Callable[[Callable], Callable]:
+    """Register the decorated function's stage as experiment ``name``.
+
+    Usable on the stage function itself (apply above/below :func:`stage`)
+    or standalone via :func:`register_experiment`.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        register_experiment(name, stage, title, description)
+        return fn
+
+    return decorate
+
+
+def register_experiment(
+    name: str, stage: str, title: str, description: str = ""
+) -> ExperimentSpec:
+    """Non-decorator experiment registration (see :func:`experiment`)."""
+    if name in _EXPERIMENTS:
+        raise ValueError(f"experiment {name!r} is already registered")
+    spec = ExperimentSpec(name=name, stage=stage, title=title, description=description)
+    _EXPERIMENTS[name] = spec
+    return spec
+
+
+def get_stage(name: str) -> StageSpec:
+    """Look up one stage; raises ``KeyError`` with the known names."""
+    try:
+        return _STAGES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r} (known: {sorted(_STAGES)})"
+        ) from None
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up one experiment; raises ``KeyError`` with the known names."""
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r} (known: {sorted(_EXPERIMENTS)})"
+        ) from None
+
+
+def list_stages() -> List[StageSpec]:
+    """Every registered stage, sorted by name."""
+    return [_STAGES[name] for name in sorted(_STAGES)]
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    """Every registered experiment, sorted by name."""
+    return [_EXPERIMENTS[name] for name in sorted(_EXPERIMENTS)]
+
+
+def resolve(stage_name: str) -> List[StageSpec]:
+    """Dependency closure of ``stage_name`` in topological order.
+
+    Inputs always precede their consumers; ties break by registration
+    name so the order is deterministic.  Raises on unknown inputs and on
+    dependency cycles.
+    """
+    order: List[StageSpec] = []
+    seen: Dict[str, str] = {}  # name -> "visiting" | "done"
+
+    def visit(name: str, chain: Tuple[str, ...]) -> None:
+        state = seen.get(name)
+        if state == "done":
+            return
+        if state == "visiting":
+            cycle = " -> ".join(chain + (name,))
+            raise ValueError(f"stage dependency cycle: {cycle}")
+        seen[name] = "visiting"
+        spec = get_stage(name)
+        for dep in sorted(spec.inputs):
+            visit(dep, chain + (name,))
+        seen[name] = "done"
+        order.append(spec)
+
+    visit(stage_name, ())
+    return order
+
+
+def unregister(*names: str) -> None:
+    """Remove specific stages/experiments (test isolation only).
+
+    Python caches module imports, so a blanket "clear everything" would
+    permanently lose the registrations made when :mod:`repro.experiments`
+    was first imported; tests therefore register uniquely-named specs and
+    remove exactly those.
+    """
+    for name in names:
+        _STAGES.pop(name, None)
+        _EXPERIMENTS.pop(name, None)

@@ -1,0 +1,84 @@
+"""``repro report``: render run manifests into a markdown results report.
+
+The report has three parts: a summary table over every run found in the
+runs directory (experiment, scale, when, duration, cache hits), a
+per-run stage breakdown (cache key, hit/miss, seconds, digest prefix),
+and — when the runner saved one — the rendered paper artifact itself in
+a fenced code block.  Pointing the command at a fresh runs directory
+after ``repro run all`` yields a self-contained record of the whole
+reproduction: what ran, how long each phase took, what was reused, and
+the resulting tables.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List, Union
+
+from .manifest import load_manifests
+
+PathLike = Union[str, Path]
+
+
+def _fmt_when(timestamp: float) -> str:
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(timestamp))
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.0f}ms"
+
+
+def render_report(
+    runs_dir: PathLike, include_outputs: bool = True
+) -> str:
+    """Markdown report over every manifest under ``runs_dir``."""
+    manifests = load_manifests(runs_dir)
+    lines: List[str] = ["# Experiment pipeline report", ""]
+    if not manifests:
+        lines.append(f"No run manifests found under `{runs_dir}`.")
+        return "\n".join(lines)
+
+    lines += [
+        f"{len(manifests)} run(s) under `{runs_dir}`.",
+        "",
+        "| Run | Experiment | Scale | Started | Duration | Stages (cached) |",
+        "|---|---|---|---|---|---|",
+    ]
+    for m in manifests:
+        lines.append(
+            f"| `{m.run_id}` | {m.experiment} | {m.scale} "
+            f"| {_fmt_when(m.started_at)} | {_fmt_seconds(m.total_seconds)} "
+            f"| {len(m.stages)} ({m.cache_hits} cached) |"
+        )
+    lines.append("")
+
+    for m in manifests:
+        lines += [
+            f"## {m.title}",
+            "",
+            f"Run `{m.run_id}` — scale `{m.scale}`, seed {m.seed}, "
+            f"python {m.versions.get('python', '?')}, "
+            f"numpy {m.versions.get('numpy', '?')}, "
+            f"repro {m.versions.get('repro', '?')}.",
+            "",
+            "| Stage | Cache | Seconds | Key | Digest |",
+            "|---|---|---|---|---|",
+        ]
+        for s in m.stages:
+            status = "hit" if s.cache_hit else ("miss" if s.cacheable else "uncached")
+            digest = (s.digest or "")[:12] or "-"
+            lines.append(
+                f"| `{s.stage}` | {status} | {s.seconds:.3f} "
+                f"| `{s.key[:12]}` | `{digest}` |"
+            )
+        lines.append("")
+        if include_outputs:
+            output_path = Path(runs_dir) / f"{m.run_id}.txt"
+            if output_path.is_file():
+                lines += ["```", output_path.read_text(encoding="utf-8").rstrip(), "```", ""]
+    return "\n".join(lines)

@@ -1,0 +1,350 @@
+"""Pipeline execution: stage scheduling, caching, and parallel experiments.
+
+:func:`run_experiment` resolves an experiment's stage closure in
+topological order and executes it stage by stage: compute the content
+hash (:func:`repro.pipeline.cache.stage_key`), serve a cache hit from
+disk, otherwise run the stage body and store its output.  Every stage —
+hit or miss — appends a :class:`repro.pipeline.manifest.StageRecord`, and
+the finished :class:`~repro.pipeline.manifest.RunManifest` plus the
+rendered artifact text are written to the runs directory.
+
+:func:`run_many` executes several experiments.  With ``jobs > 1`` it
+first materializes, in dependency order, every *shared* cacheable stage
+(one required by two or more of the requested experiments — e.g. the
+DSSDDI(SGCN) fit that table1, table3, fig7, fig8 and fig9 all consume),
+then fans the experiments out over a ``ProcessPoolExecutor``; the workers
+find the shared work already cached, so the expensive fits run exactly
+once regardless of parallelism.  Results come back as rendered text plus
+the manifest, which is all the CLI needs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from itertools import count
+
+from .cache import StageCache, default_cache_dir, stage_key
+from .manifest import RunManifest, StageRecord
+from .registry import (
+    ExperimentSpec,
+    StageSpec,
+    get_experiment,
+    list_experiments,
+    resolve,
+)
+
+
+@dataclass
+class PipelineConfig:
+    """Run-wide knobs shared by every stage of a pipeline invocation.
+
+    Attributes:
+        scale: experiment scale preset name (``tiny``/``small``/
+            ``medium``/``full``), resolved through
+            :meth:`repro.experiments.Scale.by_name`.
+        cache_dir: stage-cache root (default ``$REPRO_CACHE_DIR`` or
+            ``./.repro_cache``).
+        runs_dir: manifest directory (default ``<cache_dir>/runs``).
+        use_cache: ``False`` disables both lookups and writes.
+        force: re-execute every stage, overwriting cached entries.
+        jobs: worker processes for :func:`run_many` (1 = serial).
+        force_reuse: stage names exempt from ``force`` — set internally
+            by :func:`run_many` so parallel workers reuse the shared
+            stages the parent just force-re-executed instead of refitting
+            them once per worker.
+    """
+
+    scale: str = "small"
+    cache_dir: Optional[str] = None
+    runs_dir: Optional[str] = None
+    use_cache: bool = True
+    force: bool = False
+    jobs: int = 1
+    force_reuse: Tuple[str, ...] = ()
+
+    def resolved_cache_dir(self) -> Path:
+        """The effective cache root as a :class:`~pathlib.Path`."""
+        return Path(self.cache_dir) if self.cache_dir else default_cache_dir()
+
+    def resolved_runs_dir(self) -> Path:
+        """The effective manifest directory."""
+        return Path(self.runs_dir) if self.runs_dir else self.resolved_cache_dir() / "runs"
+
+
+#: Disambiguates run ids minted by the same process in the same second.
+_RUN_COUNTER = count()
+
+
+class StageContext:
+    """What a stage body sees: the run config and the resolved scale."""
+
+    def __init__(self, config: PipelineConfig) -> None:
+        """Resolve ``config.scale`` once; stages share the instance."""
+        from ..experiments import Scale
+
+        self.config = config
+        self.scale = Scale.by_name(config.scale)
+
+    def param_value(self, name: str) -> Any:
+        """Hashable value of a declared stage parameter.
+
+        ``"scale"`` resolves to the preset's full field dict (so editing
+        a preset's epochs invalidates dependent cache entries, not just
+        renaming it).  Unknown names raise ``KeyError``.
+        """
+        if name == "scale":
+            return asdict(self.scale)
+        raise KeyError(f"unknown stage parameter {name!r}")
+
+
+def _ensure_registered() -> None:
+    """Populate the registry (stage registration happens at import)."""
+    from .. import experiments  # noqa: F401  (imported for side effect)
+
+
+def _execute_stages(
+    order: Sequence[StageSpec],
+    targets: Set[str],
+    ctx: StageContext,
+    cache: StageCache,
+    config: PipelineConfig,
+    manifest: Optional[RunManifest] = None,
+    load_targets: bool = True,
+) -> Dict[str, Any]:
+    """Materialize the ``targets`` stages of ``order`` (topo-sorted).
+
+    With ``load_targets=False`` (the pre-warm path) a target that is
+    already cached is left on disk unread — only presence matters there.
+
+    Three passes: (1) compute every stage's content key and whether it
+    would execute (miss / forced / uncacheable); (2) walk backwards to
+    find which stage *values* are actually needed — a target's, plus the
+    inputs of anything that will execute.  A fully-warm run therefore
+    loads only the terminal artifact and skips upstream work entirely:
+    cohorts are not regenerated and cached fits are not deserialized
+    just to be discarded; (3) execute/load in dependency order,
+    appending a :class:`StageRecord` per stage when a manifest is given
+    (skipped-but-cached stages record as hits with ~0 seconds).
+
+    Returns the loaded/computed values keyed by stage name.
+    """
+    keys: Dict[str, str] = {}
+    will_execute: Dict[str, bool] = {}
+    for spec in order:
+        params = {p: ctx.param_value(p) for p in spec.params}
+        key = stage_key(spec, params, [keys[i] for i in spec.inputs])
+        keys[spec.name] = key
+        can_reuse = (
+            config.use_cache
+            and spec.cacheable
+            and (not config.force or spec.name in config.force_reuse)
+        )
+        will_execute[spec.name] = not (can_reuse and cache.contains(key))
+
+    needed: Set[str] = (
+        set(targets) if load_targets else {t for t in targets if will_execute[t]}
+    )
+    for spec in reversed(order):
+        if spec.name in needed and will_execute[spec.name]:
+            needed.update(spec.inputs)
+
+    values: Dict[str, Any] = {}
+    for spec in order:
+        key = keys[spec.name]
+        can_cache = config.use_cache and spec.cacheable
+        started = time.perf_counter()
+        hit = not will_execute[spec.name]
+        digest: Optional[str] = None
+        if spec.name not in needed:
+            pass  # subsumed by a cached consumer: no execute, no load
+        elif hit:
+            value, entry = cache.load(key)
+            digest = entry.digest
+            values[spec.name] = value
+        else:
+            value = spec.fn(ctx, *(values[i] for i in spec.inputs))
+            if can_cache:
+                digest = cache.store(key, spec.name, spec.serializer, value).digest
+            values[spec.name] = value
+        if manifest is not None:
+            manifest.stages.append(
+                StageRecord(
+                    stage=spec.name,
+                    key=key,
+                    cache_hit=hit,
+                    seconds=time.perf_counter() - started,
+                    cacheable=spec.cacheable,
+                    serializer=spec.serializer,
+                    digest=digest,
+                )
+            )
+    return values
+
+
+def run_experiment(
+    name: str,
+    config: Optional[PipelineConfig] = None,
+    save_manifest: bool = True,
+) -> Tuple[Any, RunManifest]:
+    """Run one experiment through the cached pipeline.
+
+    Returns ``(result, manifest)`` where ``result`` is the terminal
+    stage's output (a ``Table*Result`` / ``Fig*Result``).  The manifest —
+    and the rendered result text — are written to the runs directory
+    unless ``save_manifest`` is false.
+    """
+    _ensure_registered()
+    config = config or PipelineConfig()
+    spec = get_experiment(name)
+    ctx = StageContext(config)
+    cache = StageCache(config.resolved_cache_dir())
+    run_id = (
+        f"{name}-{time.strftime('%Y%m%d-%H%M%S')}"
+        f"-{os.getpid()}-{next(_RUN_COUNTER):03d}"
+    )
+    manifest = RunManifest(
+        run_id=run_id,
+        experiment=name,
+        title=spec.title,
+        scale=config.scale,
+        seed=ctx.scale.seed,
+        config={"scale": asdict(ctx.scale), "force": config.force,
+                "use_cache": config.use_cache},
+    )
+
+    values = _execute_stages(
+        resolve(spec.stage), {spec.stage}, ctx, cache, config, manifest
+    )
+    result = values[spec.stage]
+    manifest.finish()
+    if save_manifest:
+        runs_dir = config.resolved_runs_dir()
+        manifest.save(runs_dir)
+        rendered = render_result(spec, result)
+        with open(runs_dir / f"{run_id}.txt", "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+    return result, manifest
+
+
+def render_result(spec: ExperimentSpec, result: Any) -> str:
+    """Title plus the result's own ``render()`` text."""
+    body = result.render() if hasattr(result, "render") else str(result)
+    return f"{spec.title}\n{body}"
+
+
+def shared_stages(names: Sequence[str]) -> List[StageSpec]:
+    """Cacheable stages required by more than one of ``names``, in
+    dependency order (the pre-warm set for parallel runs)."""
+    _ensure_registered()
+    counts: Dict[str, int] = {}
+    order: List[StageSpec] = []
+    for name in names:
+        for stage in resolve(get_experiment(name).stage):
+            if stage.name not in counts:
+                order.append(stage)
+            counts[stage.name] = counts.get(stage.name, 0) + 1
+    return [s for s in order if counts[s.name] > 1 and s.cacheable]
+
+
+def warm_shared_stages(names: Sequence[str], config: PipelineConfig) -> List[str]:
+    """Materialize every shared cacheable stage of ``names`` in the cache.
+
+    Executes (in the calling process, dependency order) each stage that
+    at least two requested experiments consume, so parallel workers hit
+    the cache instead of fitting the same model once per process.
+    Returns the warmed stage names.
+    """
+    shared = shared_stages(names)
+    if not shared:
+        return []
+    # The union closure of the shared stages: their own inputs (shared or
+    # not) must be available to compute them.  Concatenating the per-target
+    # resolutions first-seen keeps topological validity, since each
+    # resolution already lists a stage after its dependencies.
+    closure: List[StageSpec] = []
+    seen: set = set()
+    for target in shared:
+        for spec in resolve(target.name):
+            if spec.name not in seen:
+                seen.add(spec.name)
+                closure.append(spec)
+    _execute_stages(
+        closure,
+        {s.name for s in shared},
+        StageContext(config),
+        StageCache(config.resolved_cache_dir()),
+        config,
+        load_targets=False,
+    )
+    return [s.name for s in shared]
+
+
+def _run_one_worker(name: str, config: PipelineConfig) -> Tuple[str, str, Dict[str, Any]]:
+    """Process-pool entry: run one experiment, ship text + manifest back."""
+    result, manifest = run_experiment(name, config)
+    spec = get_experiment(name)
+    return name, render_result(spec, result), manifest.to_dict()
+
+
+def run_many(
+    names: Sequence[str],
+    config: Optional[PipelineConfig] = None,
+) -> List[Tuple[str, str, RunManifest]]:
+    """Run several experiments, in parallel when ``config.jobs > 1``.
+
+    Returns ``[(name, rendered_text, manifest), ...]`` in the requested
+    order.  Multi-experiment runs pre-warm the shared stages first (see
+    :func:`warm_shared_stages`); with ``jobs > 1`` the experiments then
+    fan out one per worker process.  Results and manifests are identical
+    to a serial run because every stage is deterministic and the cache
+    is content-addressed.
+    """
+    _ensure_registered()
+    config = config or PipelineConfig()
+    for name in names:
+        get_experiment(name)  # fail fast on unknown names
+
+    run_config = config
+    if config.use_cache and len(names) > 1:
+        warmed = warm_shared_stages(names, config)
+        if config.force and warmed:
+            # The shared stages were just force-re-executed once, above;
+            # exempt exactly those from force in the per-experiment runs
+            # (serial or worker) so each run reuses the fresh entries
+            # instead of refitting them — DSSDDI(SGCN) is fitted once per
+            # scale, not once per dependent experiment.  Everything else
+            # still re-executes, honoring --force.
+            run_config = replace(
+                config, force_reuse=tuple(set(config.force_reuse) | set(warmed))
+            )
+
+    if config.jobs <= 1 or len(names) <= 1:
+        out: List[Tuple[str, str, RunManifest]] = []
+        for name in names:
+            result, manifest = run_experiment(name, run_config)
+            out.append((name, render_result(get_experiment(name), result), manifest))
+        return out
+
+    results: Dict[str, Tuple[str, RunManifest]] = {}
+    with ProcessPoolExecutor(max_workers=min(config.jobs, len(names))) as pool:
+        futures = [pool.submit(_run_one_worker, name, run_config) for name in names]
+        for future in futures:
+            name, rendered, manifest_dict = future.result()
+            results[name] = (rendered, RunManifest.from_dict(manifest_dict))
+    return [(name, results[name][0], results[name][1]) for name in names]
+
+
+def all_experiment_names() -> List[str]:
+    """Registered experiment names in the paper's presentation order."""
+    _ensure_registered()
+    preferred = ["fig2", "fig3", "table1", "table2", "table3", "fig7", "fig8", "table4", "fig9"]
+    known = [spec.name for spec in list_experiments()]
+    ordered = [n for n in preferred if n in known]
+    ordered.extend(n for n in known if n not in ordered)
+    return ordered

@@ -55,6 +55,7 @@ class ServiceStats:
 
     @property
     def cache_hit_rate(self) -> float:
+        """Fraction of explanation lookups served from the LRU cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
@@ -113,6 +114,7 @@ class SuggestionService:
     # ------------------------------------------------------------------
     @property
     def num_drugs(self) -> int:
+        """Size of the drug catalog the model scores over."""
         return self._scorer.num_drugs
 
     def predict_scores(self, patient_features: np.ndarray) -> np.ndarray:

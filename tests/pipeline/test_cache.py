@@ -1,0 +1,145 @@
+"""Stage cache: serializer round-trips, content-hashed keys, hit/miss."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import StageCache, StageSpec, stage_key
+
+
+def _spec(**kw):
+    defaults = dict(name="tc.stage", fn=lambda ctx: None, params=("scale",))
+    defaults.update(kw)
+    return StageSpec(**defaults)
+
+
+class TestStageKey:
+    def test_stable_for_same_inputs(self):
+        spec = _spec()
+        params = {"scale": {"name": "small", "num_patients": 300}}
+        assert stage_key(spec, params, ["k1"]) == stage_key(spec, params, ["k1"])
+
+    def test_changes_on_config_change(self):
+        spec = _spec()
+        small = {"scale": {"name": "small", "num_patients": 300}}
+        medium = {"scale": {"name": "medium", "num_patients": 800}}
+        assert stage_key(spec, small, []) != stage_key(spec, medium, [])
+
+    def test_changes_on_version_bump(self):
+        params = {"scale": {"name": "small"}}
+        assert stage_key(_spec(version=1), params, []) != stage_key(
+            _spec(version=2), params, []
+        )
+
+    def test_changes_on_input_key_change(self):
+        spec = _spec()
+        params = {"scale": {"name": "small"}}
+        assert stage_key(spec, params, ["a"]) != stage_key(spec, params, ["b"])
+
+    def test_ignores_undeclared_params(self):
+        spec = _spec(params=())
+        assert stage_key(spec, {"scale": 1}, []) == stage_key(spec, {"scale": 2}, [])
+
+
+class TestSerializers:
+    def test_json_roundtrip(self, tmp_path):
+        cache = StageCache(tmp_path)
+        value = {"a": 1, "b": [1.5, "x"], "nested": {"k": None}}
+        cache.store("k1", "s", "json", value)
+        loaded, entry = cache.load("k1")
+        assert loaded == value
+        assert entry.stage == "s"
+        assert entry.serializer == "json"
+        assert entry.digest
+
+    def test_npz_roundtrip_preserves_keys_and_order(self, tmp_path):
+        cache = StageCache(tmp_path)
+        rng = np.random.default_rng(0)
+        # Method names with npz-hostile characters, in display order.
+        value = {
+            "UserSim": rng.random((4, 3)),
+            "w/o DDI": rng.random((4, 3)),
+            "DSSDDI(SGCN)": rng.random((4, 3)),
+        }
+        cache.store("k2", "s", "npz", value)
+        loaded, _ = cache.load("k2")
+        assert list(loaded) == list(value)  # insertion order preserved
+        for k in value:
+            np.testing.assert_array_equal(loaded[k], value[k])
+
+    def test_pickle_roundtrip(self, tmp_path):
+        from repro.experiments.table3 import Table3Result
+
+        cache = StageCache(tmp_path)
+        value = Table3Result(satisfaction={"X": {2: 0.5, 4: 0.25}})
+        cache.store("k3", "s", "pickle", value)
+        loaded, _ = cache.load("k3")
+        assert loaded.satisfaction == value.satisfaction
+
+    def test_dssddi_roundtrip_bitwise(self, tmp_path, tiny_system_and_data):
+        system, x_test = tiny_system_and_data
+        cache = StageCache(tmp_path)
+        cache.store("k4", "fit", "dssddi", system)
+        loaded, _ = cache.load("k4")
+        np.testing.assert_array_equal(
+            loaded.predict_scores(x_test), system.predict_scores(x_test)
+        )
+
+    def test_unknown_serializer(self, tmp_path):
+        with pytest.raises(ValueError, match="serializer"):
+            StageCache(tmp_path).store("k", "s", "yaml", {})
+
+
+@pytest.fixture(scope="module")
+def tiny_system_and_data():
+    """A minimally-fitted DSSDDI plus held-out features (module-cached)."""
+    from repro.core import DSSDDI, DSSDDIConfig
+    from repro.data import generate_chronic_cohort, split_patients, standardize_features
+
+    cohort = generate_chronic_cohort(num_patients=60, seed=5)
+    x = standardize_features(cohort.features)
+    split = split_patients(cohort.num_patients, seed=6)
+    config = DSSDDIConfig.fast()
+    config.ddi.epochs = 5
+    config.md.epochs = 5
+    system = DSSDDI(config)
+    system.fit(x[split.train], cohort.medications[split.train], cohort.ddi)
+    return system, x[split.test]
+
+
+class TestCacheStore:
+    def test_contains_and_missing(self, tmp_path):
+        cache = StageCache(tmp_path)
+        assert not cache.contains("nope")
+        with pytest.raises(KeyError):
+            cache.load("nope")
+        cache.store("yes", "s", "json", 1)
+        assert cache.contains("yes")
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.store("e1", "stage1", "json", {"v": 1})
+        cache.store("e2", "stage2", "json", {"v": 2})
+        entries = cache.entries()
+        assert {e.key for e in entries} == {"e1", "e2"}
+        assert all(e.size_bytes > 0 for e in entries)
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_store_refreshes_existing_entry(self, tmp_path):
+        # --force relies on store replacing a stale entry; the returned
+        # metadata must describe what is actually on disk afterwards
+        cache = StageCache(tmp_path)
+        cache.store("r", "s", "json", {"v": 1})
+        entry = cache.store("r", "s", "json", {"v": 2})
+        loaded, on_disk = cache.load("r")
+        assert loaded == {"v": 2}
+        assert on_disk.digest == entry.digest
+
+    def test_store_surfaces_real_write_failures(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.stages_dir.mkdir(parents=True)
+        # a stray regular file at the entry path is NOT a lost race — the
+        # failure must surface instead of silently reporting a store
+        (cache.stages_dir / "blocked").write_text("junk")
+        with pytest.raises(OSError):
+            cache.store("blocked", "s", "json", {"v": 1})

@@ -1,0 +1,71 @@
+"""Run manifest round-trip and directory loading."""
+
+import json
+
+from repro.pipeline import RunManifest, StageRecord, library_versions, load_manifests
+
+
+def _manifest(run_id="table1-x-1-000", started=100.0):
+    m = RunManifest(
+        run_id=run_id,
+        experiment="table1",
+        title="Table I",
+        scale="small",
+        seed=11,
+        config={"scale": {"name": "small"}},
+        started_at=started,
+    )
+    m.stages.append(
+        StageRecord(
+            stage="chronic.data", key="abc", cache_hit=False,
+            seconds=0.1, cacheable=False, serializer="pickle", digest=None,
+        )
+    )
+    m.stages.append(
+        StageRecord(
+            stage="table1.result", key="def", cache_hit=True,
+            seconds=0.01, cacheable=True, serializer="pickle", digest="d1",
+        )
+    )
+    m.finished_at = started + 5.0
+    return m
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        m = _manifest()
+        again = RunManifest.from_dict(m.to_dict())
+        assert again.to_dict() == m.to_dict()
+        assert again.stages[1].cache_hit is True
+        assert again.total_seconds == 5.0
+        assert again.cache_hits == 1
+
+    def test_json_file_roundtrip(self, tmp_path):
+        m = _manifest()
+        path = m.save(tmp_path)
+        assert path.name == f"{m.run_id}.json"
+        # the file is plain JSON with the derived total included
+        data = json.loads(path.read_text())
+        assert data["total_seconds"] == 5.0
+        again = RunManifest.load(path)
+        assert again.to_dict() == m.to_dict()
+
+    def test_versions_recorded(self):
+        versions = library_versions()
+        assert set(versions) == {"python", "numpy", "repro"}
+        m = RunManifest(
+            run_id="r", experiment="e", title="t", scale="small",
+            seed=1, config={},
+        )
+        assert m.versions == versions
+
+
+class TestLoadManifests:
+    def test_sorted_by_start_time(self, tmp_path):
+        _manifest("b-run", started=200.0).save(tmp_path)
+        _manifest("a-run", started=100.0).save(tmp_path)
+        loaded = load_manifests(tmp_path)
+        assert [m.run_id for m in loaded] == ["a-run", "b-run"]
+
+    def test_missing_dir(self, tmp_path):
+        assert load_manifests(tmp_path / "nope") == []

@@ -1,0 +1,136 @@
+"""Registry resolution: registration, topological order, error paths."""
+
+import pytest
+
+from repro.pipeline import (
+    experiment,
+    get_experiment,
+    get_stage,
+    resolve,
+    stage,
+)
+from repro.pipeline.registry import unregister
+
+
+@pytest.fixture
+def names():
+    """Unique stage/experiment names, removed again after the test."""
+    created = []
+
+    def make(name):
+        full = f"treg.{name}"
+        created.append(full)
+        return full
+
+    yield make
+    unregister(*created)
+
+
+class TestRegistration:
+    def test_stage_registers_and_returns_fn(self, names):
+        n = names("a")
+
+        @stage(n, params=())
+        def fn(ctx):
+            return 1
+
+        assert fn(None) == 1  # decorator returns the function unchanged
+        spec = get_stage(n)
+        assert spec.name == n
+        assert spec.params == ()
+        assert spec.serializer == "pickle"
+
+    def test_duplicate_stage_rejected(self, names):
+        n = names("dup")
+
+        @stage(n, params=())
+        def fn(ctx):
+            return 1
+
+        with pytest.raises(ValueError, match="already registered"):
+            stage(n, params=())(lambda ctx: 2)
+
+    def test_unknown_serializer_rejected(self, names):
+        with pytest.raises(ValueError, match="serializer"):
+            stage(names("bad"), serializer="yaml")(lambda ctx: 1)
+
+    def test_experiment_registration(self, names):
+        n = names("expstage")
+        e = names("exp")
+
+        @experiment(e, stage=n, title="Title")
+        @stage(n, params=())
+        def fn(ctx):
+            return 1
+
+        spec = get_experiment(e)
+        assert spec.stage == n
+        assert spec.title == "Title"
+
+    def test_unknown_lookups(self):
+        with pytest.raises(KeyError, match="unknown stage"):
+            get_stage("treg.nope")
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("treg.nope")
+
+
+class TestResolve:
+    def test_topological_order(self, names):
+        a, b, c = names("t.a"), names("t.b"), names("t.c")
+        stage(a, params=())(lambda ctx: "a")
+        stage(b, inputs=(a,), params=())(lambda ctx, va: "b")
+        stage(c, inputs=(a, b), params=())(lambda ctx, va, vb: "c")
+        order = [s.name for s in resolve(c)]
+        assert order.index(a) < order.index(b) < order.index(c)
+        assert set(order) == {a, b, c}
+
+    def test_diamond_resolved_once(self, names):
+        root, l, r, top = (names(x) for x in ("d.root", "d.l", "d.r", "d.top"))
+        stage(root, params=())(lambda ctx: 0)
+        stage(l, inputs=(root,), params=())(lambda ctx, v: 1)
+        stage(r, inputs=(root,), params=())(lambda ctx, v: 2)
+        stage(top, inputs=(l, r), params=())(lambda ctx, a, b: 3)
+        order = [s.name for s in resolve(top)]
+        assert order.count(root) == 1
+        assert order[-1] == top
+
+    def test_cycle_detected(self, names):
+        a, b = names("c.a"), names("c.b")
+        stage(a, inputs=(b,), params=())(lambda ctx, v: 1)
+        stage(b, inputs=(a,), params=())(lambda ctx, v: 2)
+        with pytest.raises(ValueError, match="cycle"):
+            resolve(a)
+
+    def test_unknown_input(self, names):
+        a = names("u.a")
+        stage(a, inputs=("treg.missing-input",), params=())(lambda ctx, v: 1)
+        with pytest.raises(KeyError, match="unknown stage"):
+            resolve(a)
+
+
+class TestPaperRegistry:
+    """The real registrations made by importing repro.experiments."""
+
+    def test_all_experiments_registered(self):
+        import repro.experiments  # noqa: F401 (registers on import)
+        from repro.pipeline import list_experiments
+
+        known = {e.name for e in list_experiments()}
+        assert {
+            "fig2", "fig3", "table1", "table2", "table3",
+            "fig7", "fig8", "table4", "fig9",
+        } <= known
+
+    def test_shared_fit_feeds_four_experiments(self):
+        import repro.experiments  # noqa: F401
+        from repro.pipeline import get_experiment, resolve
+
+        users = [
+            name
+            for name in ("table1", "table3", "fig7", "fig8", "fig9")
+            if any(
+                s.name == "chronic.fit.dssddi_sgcn"
+                for s in resolve(get_experiment(name).stage)
+            )
+        ]
+        assert users == ["table1", "table3", "fig7", "fig8", "fig9"]

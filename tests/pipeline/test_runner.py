@@ -1,0 +1,206 @@
+"""End-to-end pipeline runs: caching, parallelism, CLI, legacy equality."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    PipelineConfig,
+    RunManifest,
+    load_manifests,
+    render_report,
+    run_experiment,
+    run_many,
+    shared_stages,
+)
+from repro.pipeline.cli import main as cli_main
+
+
+def _cfg(tmp_path, **kw):
+    kw.setdefault("scale", "tiny")
+    return PipelineConfig(cache_dir=str(tmp_path / "cache"), **kw)
+
+
+class TestCachedRuns:
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        _, first = run_experiment("fig3", cfg)
+        _, second = run_experiment("fig3", cfg)
+        assert [s.cache_hit for s in first.stages] == [False]
+        assert [s.cache_hit for s in second.stages] == [True]
+        # identical output digests prove the same artifact was reused
+        assert first.stages[0].digest == second.stages[0].digest
+
+    def test_config_change_is_a_cache_miss(self, tmp_path):
+        cfg_tiny = _cfg(tmp_path, scale="tiny")
+        cfg_small = _cfg(tmp_path, scale="small")
+        _, m1 = run_experiment("fig2", cfg_tiny)
+        _, m2 = run_experiment("fig2", cfg_small)
+        assert not m1.stages[0].cache_hit
+        assert not m2.stages[0].cache_hit  # different scale -> different key
+        assert m1.stages[0].key != m2.stages[0].key
+        # fig3 declares params=(): the same entry serves every scale
+        _, f1 = run_experiment("fig3", cfg_tiny)
+        _, f2 = run_experiment("fig3", cfg_small)
+        assert f1.stages[0].key == f2.stages[0].key
+        assert f2.stages[0].cache_hit
+
+    def test_force_reexecutes(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        run_experiment("fig3", cfg)
+        _, m = run_experiment("fig3", _cfg(tmp_path, force=True))
+        assert [s.cache_hit for s in m.stages] == [False]
+
+    def test_no_cache_never_writes(self, tmp_path):
+        cfg = _cfg(tmp_path, use_cache=False)
+        run_experiment("fig3", cfg)
+        _, m = run_experiment("fig3", cfg)
+        assert [s.cache_hit for s in m.stages] == [False]
+        assert m.stages[0].digest is None
+
+    def test_manifests_written(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        _, m = run_experiment("fig3", cfg)
+        runs = load_manifests(cfg.resolved_runs_dir())
+        assert m.run_id in {r.run_id for r in runs}
+        rendered = (cfg.resolved_runs_dir() / f"{m.run_id}.txt").read_text()
+        assert "Fig. 3" in rendered
+
+
+class TestSharedFitStages:
+    """The acceptance path: one DSSDDI fit shared across experiments."""
+
+    def test_fig7_then_fig9_reuses_fit(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        _, m7 = run_experiment("fig7", cfg)
+        _, m9 = run_experiment("fig9", cfg)
+        by_stage7 = {s.stage: s for s in m7.stages}
+        by_stage9 = {s.stage: s for s in m9.stages}
+        fit7 = by_stage7["chronic.fit.dssddi_sgcn"]
+        fit9 = by_stage9["chronic.fit.dssddi_sgcn"]
+        assert not fit7.cache_hit and fit9.cache_hit
+        assert fit7.key == fit9.key
+        assert fit7.digest == fit9.digest
+        # manifest timings: the cached fit must be much cheaper than the fit
+        assert fit9.seconds < fit7.seconds
+
+    def test_shared_stage_analysis(self):
+        shared = {s.name for s in shared_stages(["fig7", "fig9"])}
+        assert "chronic.fit.dssddi_sgcn" in shared
+        assert "chronic.data" not in shared  # not cacheable -> not warmed
+
+    def test_fig9_matches_legacy_entry_point(self, tmp_path):
+        from repro.experiments import Scale, load_chronic, run_fig9
+
+        cfg = _cfg(tmp_path)
+        result, _ = run_experiment("fig9", cfg)
+        scale = Scale.tiny()
+        legacy = run_fig9(scale=scale, data=load_chronic(scale))
+        assert legacy.render() == result.render()
+
+
+class TestWarmRunSkipsDeadWork:
+    def test_uncacheable_input_not_reexecuted_when_consumer_is_cached(self, tmp_path):
+        from repro.pipeline import stage, register_experiment
+        from repro.pipeline.registry import unregister
+
+        calls = {"gen": 0, "use": 0}
+        try:
+            @stage("twarm.gen", params=(), cacheable=False)
+            def gen(ctx):
+                calls["gen"] += 1
+                return 7
+
+            @stage("twarm.use", inputs=("twarm.gen",), params=(), serializer="json")
+            def use(ctx, v):
+                calls["use"] += 1
+                return {"v": v * 2}
+
+            register_experiment("twarm", "twarm.use", "Warm test")
+            cfg = _cfg(tmp_path)
+            result, m1 = run_experiment("twarm", cfg, save_manifest=False)
+            assert result == {"v": 14} and calls == {"gen": 1, "use": 1}
+            result, m2 = run_experiment("twarm", cfg, save_manifest=False)
+            # terminal stage served from cache -> the uncacheable generator
+            # is not re-executed just to be discarded
+            assert result == {"v": 14} and calls == {"gen": 1, "use": 1}
+            assert {s.stage: s.cache_hit for s in m2.stages}["twarm.use"]
+        finally:
+            unregister("twarm.gen", "twarm.use", "twarm")
+
+
+class TestParallel:
+    def test_force_with_jobs_shares_the_forced_refit(self, tmp_path):
+        cfg = PipelineConfig(
+            scale="tiny", cache_dir=str(tmp_path / "cache"), jobs=2, force=True
+        )
+        results = dict(
+            (name, manifest) for name, _, manifest in run_many(["fig7", "fig9"], cfg)
+        )
+        # the parent force-re-executed the shared fit once; both workers
+        # reused that entry instead of refitting it per process
+        for name in ("fig7", "fig9"):
+            fit = {s.stage: s for s in results[name].stages}["chronic.fit.dssddi_sgcn"]
+            assert fit.cache_hit, name
+        # non-shared terminal stages still honored --force
+        assert not {s.stage: s for s in results["fig9"].stages}["fig9.result"].cache_hit
+    def test_parallel_equals_serial(self, tmp_path):
+        serial_cfg = _cfg(tmp_path / "serial")
+        parallel_cfg = PipelineConfig(
+            scale="tiny", cache_dir=str(tmp_path / "parallel" / "cache"), jobs=2
+        )
+        names = ["fig2", "fig7", "fig9"]
+        serial = run_many(names, serial_cfg)
+        parallel = run_many(names, parallel_cfg)
+        assert [n for n, _, _ in serial] == [n for n, _, _ in parallel]
+        for (_, text_s, _), (_, text_p, _) in zip(serial, parallel):
+            assert text_s == text_p
+        # fig7 and fig9 share the SGCN fit: the parallel run pre-warmed it,
+        # so the fig9 worker found it cached
+        m9 = parallel[2][2]
+        fit = {s.stage: s for s in m9.stages}["chronic.fit.dssddi_sgcn"]
+        assert fit.cache_hit
+
+    def test_unknown_experiment_fails_fast(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_many(["nope"], _cfg(tmp_path))
+
+
+class TestCLI:
+    def test_run_and_report(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "fig3", "--scale", "tiny", "--cache-dir", cache_dir]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out and "0 cached" in out
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 cached" in out
+
+        assert cli_main(["cache", "ls", "--cache-dir", cache_dir]) == 0
+        assert "fig3.result" in capsys.readouterr().out
+
+        assert cli_main(["report", "--cache-dir", cache_dir]) == 0
+        report = capsys.readouterr().out
+        assert "# Experiment pipeline report" in report
+        assert "fig3" in report
+
+        assert cli_main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table4", "fig9"):
+            assert name in out
+
+    def test_unknown_experiment_exit_code(self, tmp_path, capsys):
+        argv = ["run", "nope", "--cache-dir", str(tmp_path)]
+        assert cli_main(argv) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_report_renderer_includes_stage_table(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        run_experiment("fig3", cfg)
+        text = render_report(cfg.resolved_runs_dir())
+        assert "| Stage | Cache |" in text
+        assert "`fig3.result`" in text

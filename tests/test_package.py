@@ -18,12 +18,13 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.serving",
     "repro.experiments",
+    "repro.pipeline",
 ]
 
 
 class TestPackage:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     @pytest.mark.parametrize("name", SUBPACKAGES)
     def test_subpackage_imports(self, name):

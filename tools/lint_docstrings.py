@@ -1,0 +1,95 @@
+"""Docstring-coverage lint for the repro package (run by CI).
+
+Rules:
+
+* every module under ``src/repro`` must have a module docstring;
+* every public class (any module) must have a class docstring;
+* every public module-level function and public method in the documented
+  public surface — ``repro.core``, ``repro.serving``, ``repro.pipeline``
+  and ``repro.nn.sparse`` (the packages ``docs/api.md`` covers) — must
+  have a docstring.
+
+"Public" means the name does not start with ``_``.  Nested (closure)
+functions are never checked.  Exits non-zero listing every violation.
+
+Usage::
+
+    python tools/lint_docstrings.py [src-root]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Packages/modules whose public functions and methods must be documented.
+FUNCTION_SURFACE = (
+    "repro/core",
+    "repro/serving",
+    "repro/pipeline",
+    "repro/nn/sparse.py",
+)
+
+
+def _in_function_surface(path: Path, root: Path) -> bool:
+    rel = path.relative_to(root).as_posix()
+    return any(
+        rel == surface or rel.startswith(surface.rstrip("/") + "/")
+        for surface in FUNCTION_SURFACE
+    )
+
+
+def _check_defs(nodes, *, where: str, check_functions: bool, problems: list) -> None:
+    """Check one body level (module or class) — never recurses into functions."""
+    for node in nodes:
+        if isinstance(node, ast.ClassDef):
+            if not node.name.startswith("_") and not ast.get_docstring(node):
+                problems.append(f"{where}:{node.lineno}: class {node.name} lacks a docstring")
+            _check_defs(
+                node.body, where=where, check_functions=check_functions, problems=problems
+            )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if (
+                check_functions
+                and not node.name.startswith("_")
+                and not ast.get_docstring(node)
+            ):
+                problems.append(
+                    f"{where}:{node.lineno}: def {node.name} lacks a docstring"
+                )
+
+
+def lint(root: Path) -> list:
+    """Return the list of violations under ``root`` (a src directory)."""
+    problems: list = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        where = str(path)
+        if not ast.get_docstring(tree):
+            problems.append(f"{where}:1: module lacks a docstring")
+        _check_defs(
+            tree.body,
+            where=where,
+            check_functions=_in_function_surface(path, root),
+            problems=problems,
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    """CLI entry; prints violations and returns the exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "src"
+    problems = lint(root)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} docstring violation(s)")
+        return 1
+    print("docstring coverage OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
