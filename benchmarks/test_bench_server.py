@@ -1,0 +1,228 @@
+"""Benchmark: online gateway micro-batching efficiency (ISSUE 4).
+
+Drives the in-process gateway (batcher + registry + scorer + metrics,
+no sockets — the HTTP numbers live in the ``loadgen_http`` section the
+CI smoke job merges in) with the closed-loop load generator at
+concurrency 32 and measures:
+
+* **micro-batched** — ``max_batch_size=64``, the production config;
+* **batch-size-1** — ``max_batch_size=1``, the batching ablation: the
+  *same* gateway, the same fixed-shape deterministic scoring
+  (``score_block=8``), only the coalescing disabled; and
+* **batch-size-1, raw scoring** — ``score_block=0``, the legacy
+  variable-shape scorer, reported for transparency: it shows how much
+  of the micro-batching win is amortizing the fixed-shape determinism
+  cost versus amortizing per-call overhead.
+
+Acceptance (asserted): the micro-batched gateway reaches **>= 3x** the
+throughput of batch-size-1 serving on the same artifact, and the scores
+the two modes return are **bitwise identical** (fixed-shape blocked
+scoring makes every patient's scores independent of batch composition).
+
+The artifact is a paper-sized model (hidden 64 — Sec. V-A3) on the
+synthetic chronic cohort.  Results land in ``BENCH_server.json`` at the
+repo root.  Set ``BENCH_SERVER_SMOKE=1`` for the reduced CI smoke run
+(bitwise equality still asserted, the 3x floor only logged — shared
+runners cannot guarantee scheduler-sensitive wall-clock margins).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DDIGCNConfig,
+    DSSDDI,
+    DSSDDIConfig,
+    MDGCNConfig,
+    ServerConfig,
+)
+from repro.data import generate_chronic_cohort, split_patients, standardize_features
+from repro.server import GatewayApp, ModelRegistry, publish_artifact
+from repro.server.loadgen import InprocTarget, make_feature_pool, run_load
+
+SMOKE = os.environ.get("BENCH_SERVER_SMOKE") == "1"
+CONCURRENCY = 32
+DURATION_S = 0.6 if SMOKE else 1.2
+ROUNDS = 1 if SMOKE else 3  # best-of: shrugs off scheduler noise
+MAX_BATCH = 64
+SCORE_BLOCK = 8
+MAX_WAIT_MS = 2.0
+K = 3
+MIN_SPEEDUP = 3.0
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_server.json")
+
+RESULTS = {
+    "config": {
+        "concurrency": CONCURRENCY,
+        "duration_s": DURATION_S,
+        "max_batch_size": MAX_BATCH,
+        "score_block": SCORE_BLOCK,
+        "max_wait_ms": MAX_WAIT_MS,
+        "hidden_dim": 64,
+        "smoke": SMOKE,
+    }
+}
+
+
+@pytest.fixture(scope="module")
+def served_root(tmp_path_factory):
+    """Fit a paper-sized (hidden 64) system and publish it."""
+    cohort = generate_chronic_cohort(num_patients=200, seed=3)
+    x = standardize_features(cohort.features)
+    split = split_patients(200, seed=1)
+    config = DSSDDIConfig(
+        ddi=DDIGCNConfig(epochs=10 if SMOKE else 15, hidden_dim=64),
+        md=MDGCNConfig(epochs=25 if SMOKE else 40, hidden_dim=64),
+    )
+    system = DSSDDI(config)
+    system.fit(x[split.train], cohort.medications[split.train], cohort.ddi)
+    root = tmp_path_factory.mktemp("bench_server") / "models"
+    publish_artifact(system, root)
+    return root
+
+
+def _gateway(root, max_batch, score_block):
+    registry = ModelRegistry(root, score_block=score_block or None)
+    return GatewayApp(
+        registry,
+        ServerConfig(
+            max_batch_size=max_batch,
+            max_wait_ms=MAX_WAIT_MS,
+            score_block=score_block,
+        ),
+    )
+
+
+def _measure(root, max_batch, score_block):
+    """Best-of-ROUNDS closed-loop measurement of one gateway config."""
+    app = _gateway(root, max_batch, score_block)
+    pool = make_feature_pool(app.registry.active().service.feature_dim)
+    best = None
+    try:
+        run_load(  # warm-up: BLAS paths, thread pools, reservoirs
+            InprocTarget(app), pool, duration_s=0.2, concurrency=CONCURRENCY, k=K
+        )
+        for _round in range(ROUNDS):
+            report = run_load(
+                InprocTarget(app),
+                pool,
+                duration_s=DURATION_S,
+                concurrency=CONCURRENCY,
+                k=K,
+            )
+            if best is None or report.throughput_rps > best.throughput_rps:
+                best = report
+    finally:
+        app.close()
+    return best
+
+
+def _record(name, report):
+    RESULTS[name] = report.to_dict()
+    print(
+        f"\n{name}: {report.throughput_rps:.0f} req/s "
+        f"(p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms, "
+        f"mean batch {report.mean_batch_rows:.1f}, errors {report.errors})"
+    )
+
+
+def _flush_results():
+    try:
+        with open(RESULTS_PATH, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if not isinstance(existing, dict):
+            existing = {}
+    except (FileNotFoundError, json.JSONDecodeError):
+        existing = {}
+    existing.update(RESULTS)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(existing, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def test_bench_micro_batching_speedup(served_root):
+    """Acceptance: batched gateway >= 3x batch-size-1 at concurrency 32."""
+    batched = _measure(served_root, MAX_BATCH, SCORE_BLOCK)
+    batch1 = _measure(served_root, 1, SCORE_BLOCK)
+    batch1_raw = _measure(served_root, 1, 0)
+
+    _record("micro_batched", batched)
+    _record("batch_size_1", batch1)
+    _record("batch_size_1_raw_scoring", batch1_raw)
+
+    assert batched.errors == batch1.errors == batch1_raw.errors == 0
+    assert batched.mean_batch_rows > 4  # coalescing actually happened
+    assert batch1.mean_batch_rows == 1.0
+
+    speedup = batched.throughput_rps / batch1.throughput_rps
+    RESULTS["batching_speedup_vs_batch1"] = round(speedup, 2)
+    RESULTS["batched_vs_raw_batch1"] = round(
+        batched.throughput_rps / batch1_raw.throughput_rps, 2
+    )
+    print(
+        f"\nmicro-batched vs batch-size-1: {speedup:.2f}x "
+        f"(vs raw-scoring batch-1: {RESULTS['batched_vs_raw_batch1']:.2f}x)"
+    )
+
+    try:
+        if SMOKE:
+            # Shared CI runners: log the ratio, only assert sanity.
+            assert speedup > 1.0
+        else:
+            assert speedup >= MIN_SPEEDUP
+    finally:
+        _flush_results()
+
+
+#: Row count of the bitwise-equality probe set.
+PROBE_ROWS = 24
+
+
+def test_bench_bitwise_identical_scores(served_root):
+    """Batched and batch-size-1 gateways return bitwise-equal scores."""
+    import threading
+
+    pool = make_feature_pool(71, pool_size=PROBE_ROWS, seed=99)
+
+    def collect(app):
+        out = [None] * PROBE_ROWS
+        barrier = threading.Barrier(8 + 1)
+
+        def worker(w):
+            barrier.wait()
+            for i in range(w, PROBE_ROWS, 8):
+                status, body = app.suggest(
+                    {"features": [pool[i].tolist()], "k": K, "return_scores": True}
+                )
+                assert status == 200
+                out[i] = (body["suggestions"][0], body["scores"][0])
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        for t in threads:
+            t.join(timeout=60.0)
+        return out
+
+    batched_app = _gateway(served_root, MAX_BATCH, SCORE_BLOCK)
+    try:
+        batched = collect(batched_app)
+    finally:
+        batched_app.close()
+    batch1_app = _gateway(served_root, 1, SCORE_BLOCK)
+    try:
+        sequential = collect(batch1_app)
+    finally:
+        batch1_app.close()
+
+    for (batched_topk, batched_scores), (seq_topk, seq_scores) in zip(
+        batched, sequential
+    ):
+        assert batched_topk == seq_topk
+        assert np.array_equal(np.asarray(batched_scores), np.asarray(seq_scores))
+    RESULTS["bitwise_identical_scores"] = True
+    _flush_results()

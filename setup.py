@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "DSSDDI: Decision Support System for Chronic Diseases Based on "
         "Drug-Drug Interactions (ICDE 2023) - full reproduction"
@@ -23,6 +23,9 @@ setup(
             # The experiment pipeline CLI; equivalently:
             #   python -m repro.pipeline
             "repro=repro.pipeline.cli:main",
+            # The online serving gateway; equivalently:
+            #   python -m repro.server
+            "repro-serve=repro.server.cli:main",
         ]
     },
 )

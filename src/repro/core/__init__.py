@@ -13,6 +13,7 @@ from .config import (
     DSSDDIConfig,
     MDGCNConfig,
     MSConfig,
+    ServerConfig,
     ServingConfig,
 )
 from .ddi_module import DDIModule, DDITrainingLog
@@ -27,6 +28,7 @@ __all__ = [
     "DDIGCNConfig",
     "MDGCNConfig",
     "MSConfig",
+    "ServerConfig",
     "ServingConfig",
     "DSSDDIConfig",
     "DDIModule",

@@ -156,6 +156,13 @@ class ServingConfig(_SerializableConfig):
     synergy_bonus: float = 0.05
     antagonism_penalty: float = 0.2
     hard_exclude: bool = False
+    # Fixed-shape scoring block: 0 keeps the legacy whole-batch path; a
+    # value >= 2 scores every request in fixed chunks of that many
+    # patients (the tail padded), which makes scores bitwise-independent
+    # of how concurrent requests were coalesced into batches.  See
+    # BatchScorer.scores_blocked; the online gateway relies on this for
+    # its micro-batching determinism guarantee.
+    score_block: int = 0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on out-of-range serving knobs."""
@@ -165,6 +172,73 @@ class ServingConfig(_SerializableConfig):
             raise ValueError("default_k must be >= 1")
         if self.synergy_bonus < 0 or self.antagonism_penalty < 0:
             raise ValueError("bonus and penalty must be non-negative")
+        if self.score_block != 0 and self.score_block < 2:
+            raise ValueError("score_block must be 0 (off) or >= 2")
+
+
+@dataclass
+class ServerConfig(_SerializableConfig):
+    """Deployment knobs for the online gateway (:mod:`repro.server`).
+
+    Unlike :class:`ServingConfig` (which travels inside the model
+    artifact — it describes *how to score*), this config describes one
+    *deployment*: where to listen, how aggressively to micro-batch, which
+    artifact version to pin, and how much telemetry to keep.  It is
+    therefore not part of :class:`DSSDDIConfig` and never enters the
+    artifact manifest; ``repro-serve`` builds it from command-line flags.
+
+    Attributes:
+        host / port: HTTP listen address of the gateway.
+        max_batch_size: micro-batcher flush trigger — a flush happens as
+            soon as this many patient rows are queued (1 disables
+            coalescing: every request is scored on its own).
+        max_wait_ms: micro-batcher time trigger — the oldest queued
+            request never waits longer than this before a flush.
+        score_block: fixed-shape scoring block forwarded to
+            :class:`repro.serving.SuggestionService` (0 = legacy path;
+            >= 2 = bitwise batch-composition-independent scoring).
+        max_request_rows: per-request cap on patient rows (request
+            validation; protects the batcher from one giant request).
+        submit_timeout_s: how long a request waits for its batch result
+            before the gateway answers 503.
+        pinned_version: serve exactly this registry version instead of
+            the latest one (hot-swap via reload still honors the pin).
+        watch_interval_s: poll the artifact root for new versions this
+            often and hot-swap automatically (0 disables the watcher;
+            POST /-/reload always works).
+        latency_reservoir: reservoir size of the latency estimator
+            behind the ``/metrics`` percentiles.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8035
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    score_block: int = 8
+    max_request_rows: int = 256
+    submit_timeout_s: float = 30.0
+    pinned_version: Optional[str] = None
+    watch_interval_s: float = 0.0
+    latency_reservoir: int = 4096
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range gateway knobs."""
+        if not 0 < self.port < 65536:
+            raise ValueError("port must be in (0, 65536)")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.score_block != 0 and self.score_block < 2:
+            raise ValueError("score_block must be 0 (off) or >= 2")
+        if self.max_request_rows < 1:
+            raise ValueError("max_request_rows must be >= 1")
+        if self.submit_timeout_s <= 0:
+            raise ValueError("submit_timeout_s must be > 0")
+        if self.watch_interval_s < 0:
+            raise ValueError("watch_interval_s must be >= 0")
+        if self.latency_reservoir < 1:
+            raise ValueError("latency_reservoir must be >= 1")
 
 
 @dataclass

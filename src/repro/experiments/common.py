@@ -297,6 +297,35 @@ def stage_chronic_scores(ctx, data, dssddi_sgcn, lightgcn) -> Dict[str, np.ndarr
     )
 
 
+@stage(
+    "chronic.publish",
+    inputs=("chronic.fit.dssddi_sgcn",),
+    serializer="json",
+    cacheable=False,
+)
+def stage_publish(ctx, system: DSSDDI) -> Dict[str, object]:
+    """Publish the fitted DSSDDI(SGCN) into the serving artifact root.
+
+    The bridge from the offline pipeline to the online gateway
+    (:mod:`repro.server`): the cached fit is written as a new immutable
+    version under ``ctx.config.model_root`` (atomic rename; re-publishing
+    identical weights is a no-op), where ``repro-serve`` — or its file
+    watcher — picks it up as a hot-swap candidate.  Uncacheable because
+    its value *is* the side effect on the artifact root.
+    """
+    from ..server.registry import publish_artifact
+
+    root = ctx.config.resolved_model_root()
+    version = publish_artifact(system, root)
+    return {
+        "version": version.name,
+        "path": str(version.path),
+        "digest": version.digest,
+        "model_root": str(root),
+        "scale": ctx.scale.name,
+    }
+
+
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence], precision: int = 4
 ) -> str:

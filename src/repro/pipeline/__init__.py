@@ -16,7 +16,7 @@ and reused across experiments and invocations:
   seed, versions, per-stage timings and digests);
 * :mod:`repro.pipeline.report` — manifests → markdown results report;
 * :mod:`repro.pipeline.cli` — the ``repro`` command
-  (``run`` / ``cache`` / ``report`` / ``list``).
+  (``run`` / ``publish`` / ``cache`` / ``report`` / ``list``).
 
 Quickstart::
 
@@ -59,6 +59,7 @@ from .runner import (
     all_experiment_names,
     run_experiment,
     run_many,
+    run_stage,
     shared_stages,
     warm_shared_stages,
 )
@@ -86,6 +87,7 @@ __all__ = [
     "StageContext",
     "run_experiment",
     "run_many",
+    "run_stage",
     "shared_stages",
     "warm_shared_stages",
     "all_experiment_names",

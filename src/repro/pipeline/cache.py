@@ -307,3 +307,25 @@ class StageCache:
                 shutil.rmtree(entry_dir, ignore_errors=True)
                 count += 1
         return count
+
+    def prune(self, keep_last: int) -> List[CacheEntry]:
+        """Keep the ``keep_last`` newest entries per stage; drop the rest.
+
+        "Per stage" because entries of the *same* stage are superseded
+        versions (older scales/code revisions) while different stages
+        are unrelated artifacts — pruning globally would let one noisy
+        stage evict every other stage's only entry.  Returns the removed
+        entries' metadata (newest first, like :meth:`entries`).
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        kept_per_stage: Dict[str, int] = {}
+        removed: List[CacheEntry] = []
+        for entry in self.entries():  # newest first
+            kept = kept_per_stage.get(entry.stage, 0)
+            if kept < keep_last:
+                kept_per_stage[entry.stage] = kept + 1
+                continue
+            shutil.rmtree(self._entry_dir(entry.key), ignore_errors=True)
+            removed.append(entry)
+        return removed

@@ -6,7 +6,9 @@ installation as ``python -m repro.pipeline``::
     repro run table1 --scale small        # one experiment
     repro run all --jobs 4 --scale medium # every experiment, 4 workers
     repro run fig7 --force                # ignore cached stages
+    repro publish --scale small           # fit -> serving artifact root
     repro cache ls                        # what is materialized
+    repro cache prune --keep-last 3       # bound the cache on serving hosts
     repro cache clear
     repro report -o RESULTS.md            # manifests -> markdown
     repro list                            # registered experiments
@@ -25,7 +27,12 @@ from typing import List, Optional
 from .cache import StageCache
 from .registry import list_experiments
 from .report import render_report
-from .runner import PipelineConfig, all_experiment_names, run_many
+from .runner import (
+    PipelineConfig,
+    all_experiment_names,
+    run_many,
+    run_stage,
+)
 
 SCALES = ("tiny", "small", "medium", "full")
 
@@ -70,8 +77,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir_arg(run)
 
-    cache = sub.add_parser("cache", help="inspect or clear the stage cache")
-    cache.add_argument("action", choices=("ls", "clear"))
+    publish = sub.add_parser(
+        "publish",
+        help="fit (or reuse the cached fit of) DSSDDI(SGCN) and publish "
+        "it as a new version in the serving artifact root",
+    )
+    publish.add_argument("--scale", default="small", choices=SCALES)
+    publish.add_argument(
+        "--model-root", default=None,
+        help="artifact root served by repro-serve "
+        "(default: $REPRO_MODEL_ROOT or ./.repro_models)",
+    )
+    publish.add_argument(
+        "--force", action="store_true",
+        help="refit even when the fit stage is cached",
+    )
+    publish.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the stage cache entirely (no reads, no writes)",
+    )
+    _add_cache_dir_arg(publish)
+
+    cache = sub.add_parser(
+        "cache", help="inspect, prune, or clear the stage cache"
+    )
+    cache.add_argument("action", choices=("ls", "prune", "clear"))
+    cache.add_argument(
+        "--keep-last", type=int, default=None, metavar="N",
+        help="prune: keep only the N newest entries of each stage",
+    )
     _add_cache_dir_arg(cache)
 
     report = sub.add_parser("report", help="render run manifests to markdown")
@@ -125,11 +159,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_publish(args: argparse.Namespace) -> int:
+    config = PipelineConfig(
+        scale=args.scale,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        force=args.force,
+        model_root=args.model_root,
+    )
+    info = run_stage("chronic.publish", config)
+    print(
+        f"published {info['version']} (scale {info['scale']}) "
+        f"to {info['model_root']}"
+    )
+    print(f"  digest {info['digest']}")
+    print(f"  serve it: repro-serve {info['model_root']}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = StageCache(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached stage output(s) from {cache.root}")
+        return 0
+    if args.action == "prune":
+        if args.keep_last is None or args.keep_last < 1:
+            print("error: prune requires --keep-last N (N >= 1)", file=sys.stderr)
+            return 2
+        removed = cache.prune(args.keep_last)
+        freed = sum(e.size_bytes for e in removed) / (1024 * 1024)
+        print(
+            f"pruned {len(removed)} entrie(s) ({freed:.1f} MiB) from "
+            f"{cache.root}, keeping the {args.keep_last} newest per stage"
+        )
+        for e in removed:
+            print(f"  {e.key}  {e.stage}")
         return 0
     entries = cache.entries()
     if not entries:
@@ -169,6 +234,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "publish":
+            return _cmd_publish(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "report":

@@ -54,6 +54,9 @@ class PipelineConfig:
         use_cache: ``False`` disables both lookups and writes.
         force: re-execute every stage, overwriting cached entries.
         jobs: worker processes for :func:`run_many` (1 = serial).
+        model_root: artifact root used by publish stages (``repro
+            publish``); ``None`` falls back to ``$REPRO_MODEL_ROOT`` or
+            ``./.repro_models``.
         force_reuse: stage names exempt from ``force`` — set internally
             by :func:`run_many` so parallel workers reuse the shared
             stages the parent just force-re-executed instead of refitting
@@ -66,6 +69,7 @@ class PipelineConfig:
     use_cache: bool = True
     force: bool = False
     jobs: int = 1
+    model_root: Optional[str] = None
     force_reuse: Tuple[str, ...] = ()
 
     def resolved_cache_dir(self) -> Path:
@@ -76,6 +80,17 @@ class PipelineConfig:
         """The effective manifest directory."""
         return Path(self.runs_dir) if self.runs_dir else self.resolved_cache_dir() / "runs"
 
+    def resolved_model_root(self) -> Path:
+        """The artifact root for publish stages (see :data:`MODEL_ROOT_ENV`)."""
+        if self.model_root:
+            return Path(self.model_root)
+        return Path(os.environ.get(MODEL_ROOT_ENV, DEFAULT_MODEL_ROOT))
+
+
+#: Environment variable overriding the default publish target.
+MODEL_ROOT_ENV = "REPRO_MODEL_ROOT"
+#: Default artifact root for `repro publish` (relative to the cwd).
+DEFAULT_MODEL_ROOT = ".repro_models"
 
 #: Disambiguates run ids minted by the same process in the same second.
 _RUN_COUNTER = count()
@@ -230,6 +245,23 @@ def run_experiment(
         with open(runs_dir / f"{run_id}.txt", "w", encoding="utf-8") as fh:
             fh.write(rendered + "\n")
     return result, manifest
+
+
+def run_stage(name: str, config: Optional[PipelineConfig] = None) -> Any:
+    """Materialize one stage (and its dependency closure) by name.
+
+    The stage-level sibling of :func:`run_experiment` for targets that
+    are not paper artifacts — e.g. ``chronic.publish``, which ships the
+    cached DSSDDI(SGCN) fit into the serving registry.  Cached inputs
+    are reused exactly as in an experiment run; no manifest is written.
+    Returns the stage's output value.
+    """
+    _ensure_registered()
+    config = config or PipelineConfig()
+    ctx = StageContext(config)
+    cache = StageCache(config.resolved_cache_dir())
+    values = _execute_stages(resolve(name), {name}, ctx, cache, config)
+    return values[name]
 
 
 def render_result(spec: ExperimentSpec, result: Any) -> str:

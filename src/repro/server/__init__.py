@@ -1,0 +1,78 @@
+"""Online serving gateway: the network tier over :mod:`repro.serving`.
+
+PR 1 made fit-once/serve-many possible in-process; this package makes it
+a *service*: a threaded HTTP gateway that coalesces concurrent requests
+into the batched scorer, hot-swaps model versions without dropping a
+request, and exposes Prometheus metrics.
+
+* :mod:`repro.server.batcher` — :class:`MicroBatcher`, dynamic
+  micro-batching with size + max-wait flush triggers.
+* :mod:`repro.server.registry` — :class:`ModelRegistry`,
+  :func:`publish_artifact`: versioned artifact root with atomic
+  publication, pin-or-latest selection, hot-swap, pruning.
+* :mod:`repro.server.metrics` — request counters, latency reservoir
+  percentiles, batch-size histogram, Prometheus text rendering.
+* :mod:`repro.server.app` — :class:`GatewayApp`, the
+  transport-independent request handlers.
+* :mod:`repro.server.http` — the stdlib threaded HTTP shim.
+* :mod:`repro.server.loadgen` — closed-loop load generator writing
+  ``BENCH_server.json``.
+* :mod:`repro.server.cli` — the ``repro-serve`` console script.
+
+Quickstart::
+
+    repro publish --scale small --model-root models/   # pipeline -> artifact
+    repro-serve models/ --watch-interval 5             # serve + auto hot-swap
+
+    curl -s localhost:8035/healthz
+    curl -s -X POST localhost:8035/v1/suggest \
+         -d '{"features": [[0.1, 0.2, ...]], "k": 3}'
+
+In-process::
+
+    registry = ModelRegistry("models/")
+    with GatewayApp(registry, ServerConfig()) as app:
+        status, body = app.suggest({"features": x.tolist(), "k": 3})
+"""
+
+from ..core.config import ServerConfig
+from .app import GatewayApp, RequestError
+from .batcher import BatcherClosed, MicroBatcher, SubmitTimeout
+from .http import build_server, serve_in_thread
+from .metrics import BatchSizeHistogram, CounterSet, GatewayMetrics, LatencyReservoir
+from .registry import (
+    ModelRegistry,
+    ModelVersion,
+    NoModelError,
+    ServingHandle,
+    prune_versions,
+    publish_artifact,
+    scan_versions,
+)
+
+# The load generator (repro.server.loadgen) is deliberately not imported
+# here: it doubles as a ``python -m repro.server.loadgen`` entry point,
+# and importing it from the package __init__ would shadow that module
+# execution (runpy's "found in sys.modules" warning).
+
+__all__ = [
+    "ServerConfig",
+    "GatewayApp",
+    "RequestError",
+    "MicroBatcher",
+    "BatcherClosed",
+    "SubmitTimeout",
+    "build_server",
+    "serve_in_thread",
+    "GatewayMetrics",
+    "CounterSet",
+    "LatencyReservoir",
+    "BatchSizeHistogram",
+    "ModelRegistry",
+    "ModelVersion",
+    "ServingHandle",
+    "NoModelError",
+    "publish_artifact",
+    "scan_versions",
+    "prune_versions",
+]

@@ -1,0 +1,406 @@
+"""The gateway application: routes, validation, batching, telemetry.
+
+:class:`GatewayApp` is the transport-independent heart of the online
+gateway.  It owns the :class:`~repro.server.registry.ModelRegistry`, the
+:class:`~repro.server.batcher.MicroBatcher` and the
+:class:`~repro.server.metrics.GatewayMetrics`, and exposes one method per
+endpoint taking/returning plain Python values:
+
+========================  =============================================
+``POST /v1/suggest``      :meth:`GatewayApp.suggest`
+``POST /v1/explain``      :meth:`GatewayApp.explain`
+``GET /healthz``          :meth:`GatewayApp.healthz`
+``GET /metrics``          :meth:`GatewayApp.metrics_text`
+``GET /v1/versions``      :meth:`GatewayApp.versions`
+``POST /-/reload``        :meth:`GatewayApp.reload`
+========================  =============================================
+
+The HTTP layer (:mod:`repro.server.http`) is a thin JSON shim over these
+methods, and the load generator's in-process mode drives them directly —
+both therefore measure and exercise the same code.
+
+Request flow for ``suggest``: validate the feature matrix, submit it to
+the micro-batcher (where it coalesces with concurrent requests into one
+:meth:`repro.serving.SuggestionService.predict_scores` call), then apply
+the per-request top-k / re-rank step through the service that scored the
+batch.  The model handle is resolved *per flush*, so a hot-swap between
+two flushes is atomic and drops nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import ServerConfig
+from ..core.ms_module import Explanation
+from .batcher import BatcherClosed, MicroBatcher, SubmitTimeout
+from .metrics import GatewayMetrics
+from .registry import ModelRegistry, NoModelError, ServingHandle, watch
+
+
+class RequestError(ValueError):
+    """A client error (HTTP 400): malformed body or out-of-range fields."""
+
+
+def _as_feature_matrix(value: Any, feature_dim: int, max_rows: int) -> np.ndarray:
+    """Validate and convert the ``features`` field to (n, feature_dim)."""
+    if value is None:
+        raise RequestError("missing required field 'features'")
+    try:
+        x = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"features must be numeric: {exc}") from None
+    if x.ndim == 1:
+        x = x[None, :]
+    if x.ndim != 2:
+        raise RequestError(f"features must be 1-D or 2-D, got {x.ndim}-D")
+    if x.size == 0:
+        raise RequestError("features must contain at least one row")
+    if x.shape[0] > max_rows:
+        raise RequestError(
+            f"too many rows ({x.shape[0]} > max_request_rows={max_rows})"
+        )
+    if x.shape[1] != feature_dim:
+        raise RequestError(
+            f"feature dimension mismatch: got {x.shape[1]}, model expects "
+            f"{feature_dim}"
+        )
+    if not np.isfinite(x).all():
+        raise RequestError("features must be finite (no NaN/Inf)")
+    return x
+
+
+def explanation_to_dict(explanation: Explanation) -> Dict[str, Any]:
+    """JSON-safe representation of an MS-module explanation."""
+    return {
+        "suggested": [int(d) for d in explanation.suggested],
+        "community": [int(d) for d in explanation.community],
+        "synergy_within": [[int(a), int(b)] for a, b in explanation.synergy_within],
+        "antagonism_within": [
+            [int(a), int(b)] for a, b in explanation.antagonism_within
+        ],
+        "antagonism_avoided": [
+            [int(a), int(b)] for a, b in explanation.antagonism_avoided
+        ],
+        "satisfaction": {
+            "value": float(explanation.satisfaction.value),
+            "r_in_pos": int(explanation.satisfaction.r_in_pos),
+            "r_in_neg": int(explanation.satisfaction.r_in_neg),
+            "r_out_neg": int(explanation.satisfaction.r_out_neg),
+            "subgraph_nodes": int(explanation.satisfaction.subgraph_nodes),
+            "k": int(explanation.satisfaction.k),
+        },
+        "text": explanation.render(),
+    }
+
+
+class GatewayApp:
+    """Online serving gateway over a versioned model registry.
+
+    Args:
+        registry: the model registry to serve from (the app calls
+            ``reload()`` once at start-up unless ``lazy`` is set).
+        config: deployment knobs (:class:`repro.core.ServerConfig`).
+        lazy: skip the initial model load (requests 503 until a
+            successful ``reload``) — used by tests and by deployments
+            that publish after the gateway starts.
+
+    Usage::
+
+        app = GatewayApp(ModelRegistry("models/"), ServerConfig())
+        status, body = app.suggest({"features": [[...]]})
+        app.close()
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: Optional[ServerConfig] = None,
+        lazy: bool = False,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.config.validate()
+        self.registry = registry
+        if registry.score_block is None:
+            # Deployment config decides the scoring shape; an explicit 0
+            # (legacy variable-shape path) overrides the artifact too.
+            registry.score_block = self.config.score_block
+        self.metrics = GatewayMetrics(self.config.latency_reservoir)
+        self.started_at = time.monotonic()
+        if not lazy:
+            self.registry.reload()
+        self.batcher = MicroBatcher(
+            self._flush,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            on_flush=lambda requests, rows: self.metrics.batch_sizes.observe(rows),
+        )
+        self._watch_stop = threading.Event()
+        self._watch_thread: Optional[threading.Thread] = None
+        if self.config.watch_interval_s > 0:
+            self._watch_thread = threading.Thread(
+                target=watch,
+                args=(self.registry, self.config.watch_interval_s, self._watch_stop),
+                kwargs={"on_swap": self._on_swap},
+                name="repro-registry-watch",
+                daemon=True,
+            )
+            self._watch_thread.start()
+
+    # ------------------------------------------------------------------
+    def _flush(self, stacked: np.ndarray, items) -> Tuple[list, ServingHandle]:
+        """Batch executor: one scoring call + one top-k call per distinct k.
+
+        ``items`` is ``[(row_count, k or None), ...]``.  Scoring *and*
+        the top-k/re-rank step run on the whole coalesced matrix (top-k
+        is a per-row pure function, so batching it preserves bitwise
+        equality with sequential ``suggest``); each request gets back
+        its ``(scores_rows, suggestion_rows)`` slice.  The model handle
+        is resolved once per flush: every request in a flush is answered
+        by one consistent model version.
+        """
+        handle = self.registry.active()
+        service = handle.service
+        scores = service.predict_scores(stacked)
+        distinct_k = {k if k is not None else service.config.default_k
+                      for _rows, k in items}
+        topk = {k: service.topk_from_scores(scores, k) for k in distinct_k}
+        results = []
+        offset = 0
+        for rows, k in items:
+            k = k if k is not None else service.config.default_k
+            results.append(
+                (scores[offset : offset + rows], topk[k][offset : offset + rows])
+            )
+            offset += rows
+        return results, handle
+
+    def _on_swap(self, version) -> None:
+        self.metrics.counters.inc(
+            "repro_server_model_swaps_total", {"trigger": "watch"}
+        )
+
+    # ------------------------------------------------------------------
+    def suggest(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/suggest``: micro-batched top-k suggestions.
+
+        Body: ``{"features": [[...]] | [...], "k": int?,
+        "return_scores": bool?}``.  Returns suggestions (one id list per
+        patient row), the serving version, and optionally the raw score
+        rows.
+        """
+        started = time.perf_counter()
+        status, response = self._suggest_inner(body)
+        self.metrics.observe_request(
+            "suggest", status, time.perf_counter() - started
+        )
+        return status, response
+
+    def _suggest_inner(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            handle = self.registry.active()
+        except NoModelError as exc:
+            return 503, {"error": str(exc)}
+        service = handle.service
+        try:
+            x = _as_feature_matrix(
+                body.get("features"),
+                service.feature_dim,
+                self.config.max_request_rows,
+            )
+            k = body.get("k")
+            if k is not None:
+                k = int(k)
+                if not 1 <= k <= service.num_drugs:
+                    raise RequestError(
+                        f"k must be in [1, {service.num_drugs}], got {k}"
+                    )
+            return_scores = bool(body.get("return_scores", False))
+        except RequestError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            (scores, suggestions), flushed_by = self.batcher.submit(
+                x, meta=k, timeout=self.config.submit_timeout_s
+            )
+        except SubmitTimeout as exc:
+            return 503, {"error": f"batch timeout: {exc}"}
+        except BatcherClosed:
+            return 503, {"error": "gateway is shutting down"}
+        except NoModelError as exc:
+            return 503, {"error": str(exc)}
+        except Exception as exc:
+            # A flush blew up (e.g. a hot-swap to a model with a
+            # different feature width invalidated queued requests).
+            # The batch is poisoned but the gateway is fine — answer
+            # 500 and let the client retry against the new model.
+            return 500, {"error": f"scoring failed: {type(exc).__name__}: {exc}"}
+        response: Dict[str, Any] = {
+            "suggestions": suggestions.tolist(),
+            "k": int(suggestions.shape[1]),
+            "version": flushed_by.version.name,
+        }
+        if return_scores:
+            response["scores"] = scores.tolist()
+        return 200, response
+
+    def explain(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/explain``: MS-module explanation of a drug set.
+
+        Body: ``{"suggested": [drug ids]}``.  Served from the service's
+        LRU explanation cache when the set was explained before.
+        """
+        started = time.perf_counter()
+        status, response = self._explain_inner(body)
+        self.metrics.observe_request(
+            "explain", status, time.perf_counter() - started
+        )
+        return status, response
+
+    def _explain_inner(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            handle = self.registry.active()
+        except NoModelError as exc:
+            return 503, {"error": str(exc)}
+        suggested = body.get("suggested")
+        if not isinstance(suggested, (list, tuple)) or not suggested:
+            return 400, {"error": "'suggested' must be a non-empty list of drug ids"}
+        try:
+            drugs = [int(d) for d in suggested]
+        except (TypeError, ValueError):
+            return 400, {"error": "'suggested' must contain integers"}
+        n = handle.service.num_drugs
+        bad = [d for d in drugs if not 0 <= d < n]
+        if bad:
+            return 400, {"error": f"unknown drug ids {bad} (catalog size {n})"}
+        explanation = handle.service.explain(drugs)
+        response = explanation_to_dict(explanation)
+        response["version"] = handle.version.name
+        return 200, response
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """``GET /healthz``: liveness plus the served model's identity."""
+        base: Dict[str, Any] = {
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "queue_depth": self.batcher.queue_depth,
+        }
+        try:
+            handle = self.registry.active()
+        except NoModelError as exc:
+            base.update({"status": "no_model", "error": str(exc)})
+            return 503, base
+        base.update(
+            {
+                "status": "ok",
+                "version": handle.version.name,
+                "feature_dim": handle.service.feature_dim,
+                "num_drugs": handle.service.num_drugs,
+                "versions_available": len(self.registry.versions()),
+            }
+        )
+        return 200, base
+
+    def versions(self) -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/versions``: what the artifact root currently holds."""
+        active = (
+            self.registry.active().version.name if self.registry.has_model else None
+        )
+        return 200, {
+            "active": active,
+            "pinned": self.registry.pinned_version,
+            "versions": [
+                {
+                    "name": v.name,
+                    "digest": v.digest,
+                    "created_at": v.created_at,
+                    "active": v.name == active,
+                }
+                for v in self.registry.versions()
+            ],
+        }
+
+    def reload(self) -> Tuple[int, Dict[str, Any]]:
+        """``POST /-/reload``: hot-swap to the pinned-or-latest version."""
+        try:
+            swapped, version = self.registry.reload()
+        except NoModelError as exc:
+            return 503, {"error": str(exc)}
+        except Exception as exc:
+            # A corrupt/half-readable target: the active version keeps
+            # serving (reload never tears it down), report the failure.
+            return 500, {"error": f"reload failed: {type(exc).__name__}: {exc}"}
+        if swapped:
+            self.metrics.counters.inc(
+                "repro_server_model_swaps_total", {"trigger": "reload"}
+            )
+        return 200, {"reloaded": swapped, "version": version.name}
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: Prometheus text exposition of all collectors."""
+        gauges: List[Tuple[str, Dict[str, str], float]] = [
+            (
+                "repro_server_uptime_seconds",
+                {},
+                time.monotonic() - self.started_at,
+            ),
+            ("repro_server_queue_depth", {}, float(self.batcher.queue_depth)),
+            ("repro_server_flushes_total", {}, float(self.batcher.flushes)),
+            (
+                "repro_server_registry_swaps_total",
+                {},
+                float(self.registry.swaps),
+            ),
+            (
+                "repro_server_registry_reload_errors_total",
+                {},
+                float(self.registry.reload_errors),
+            ),
+        ]
+        if self.registry.has_model:
+            handle = self.registry.active()
+            stats = handle.service.stats()
+            gauges.extend(
+                [
+                    (
+                        "repro_server_model_info",
+                        {"version": handle.version.name},
+                        1.0,
+                    ),
+                    ("repro_server_patients_scored_total", {}, float(stats.patients_scored)),
+                    ("repro_server_explanation_cache_hits_total", {}, float(stats.cache_hits)),
+                    ("repro_server_explanation_cache_misses_total", {}, float(stats.cache_misses)),
+                    ("repro_server_explanation_cache_hit_rate", {}, stats.cache_hit_rate),
+                ]
+            )
+        return self.metrics.render(extra_gauges=gauges)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the watcher and the batcher (flushing queued requests)."""
+        self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join(timeout=5.0)
+        self.batcher.close(flush_remaining=True)
+
+    def __enter__(self) -> "GatewayApp":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def parse_json_body(raw: bytes) -> Dict[str, Any]:
+    """Decode a request body, raising :class:`RequestError` on bad JSON."""
+    if not raw:
+        raise RequestError("empty request body (expected JSON)")
+    try:
+        body = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise RequestError(f"invalid JSON: {exc}") from None
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object")
+    return body

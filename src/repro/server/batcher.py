@@ -1,0 +1,249 @@
+"""The dynamic micro-batcher: coalesce concurrent requests into batches.
+
+The PR-2 serving stack scores a whole feature matrix in a handful of
+matrix products, but an online gateway receives *single-patient* requests
+on many threads.  The classic fix is dynamic micro-batching: requests
+park in a queue, a dedicated flusher thread drains it, and one scoring
+call serves everyone in the batch.  A flush triggers on whichever comes
+first:
+
+* **size** — ``max_batch_size`` patient rows are queued, or
+* **time** — the oldest queued request has waited ``max_wait_ms``.
+
+``max_batch_size=1`` degenerates to request-at-a-time serving through the
+identical code path, which is what the benchmark uses as its batching
+ablation.
+
+The flush function is supplied by the gateway::
+
+    flush_fn(stacked_rows, items) -> (per_item_results, context)
+
+where ``stacked_rows`` vertically stacks every queued request's rows and
+``items`` is the matching ``[(row_count, meta), ...]``.  It returns one
+result per item (the gateway returns each request's score/suggestion row
+slices) plus a flush-wide context (the model handle that served the
+batch — resolved once per flush, which is what makes hot-swap atomic
+from a request's point of view).  Doing the per-request splitting inside
+the flush lets the gateway also *batch the post-processing* (one top-k
+call for the whole flush), not just the matrix products.
+
+Thread-safety/life-cycle: ``submit`` may be called from any number of
+threads; :meth:`MicroBatcher.close` drains the queue, flushes what is
+left, and stops the flusher.  Exceptions raised by the flush function
+propagate to every request in that flush — one poisoned batch never
+wedges the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+FlushFn = Callable[
+    [np.ndarray, Sequence[Tuple[int, Any]]], Tuple[Sequence[Any], Any]
+]
+
+
+class BatcherClosed(RuntimeError):
+    """Raised by ``submit`` when the batcher has been closed."""
+
+
+class SubmitTimeout(TimeoutError):
+    """Raised by ``submit`` when the flush result did not arrive in time."""
+
+
+class _Pending:
+    """One queued request: its rows/meta, and a slot for the result."""
+
+    __slots__ = ("rows", "meta", "event", "result", "context", "error")
+
+    def __init__(self, rows: np.ndarray, meta: Any) -> None:
+        self.rows = rows
+        self.meta = meta
+        self.event = threading.Event()
+        self.result: Any = None
+        self.context: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Queue concurrent requests and flush them as one scoring call.
+
+    Args:
+        flush_fn: batch executor (see module docstring).
+        max_batch_size: flush as soon as this many rows are queued (>= 1).
+        max_wait_ms: flush when the oldest request has waited this long.
+        on_flush: optional observer called with the flush's request count
+            and row count (the gateway feeds its batch-size histogram).
+
+    Usage::
+
+        batcher = MicroBatcher(flush, max_batch_size=32, max_wait_ms=2.0)
+        result, ctx = batcher.submit(features, meta=k)  # blocks
+        batcher.close()
+    """
+
+    def __init__(
+        self,
+        flush_fn: FlushFn,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        on_flush: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self._flush_fn = flush_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self._on_flush = on_flush
+        self._cond = threading.Condition()
+        self._pending: List[_Pending] = []
+        self._pending_rows = 0
+        self._closed = False
+        self.flushes = 0
+        self.rows_flushed = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-micro-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        rows: np.ndarray,
+        meta: Any = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[Any, Any]:
+        """Queue ``rows`` (n, d) and block until their flush completes.
+
+        Returns ``(result, context)`` — this request's entry of the
+        flush output plus the flush-wide context.  Raises
+        :class:`BatcherClosed` after :meth:`close`, :class:`SubmitTimeout`
+        if the result does not arrive within ``timeout`` seconds, and
+        re-raises whatever the flush function raised for this batch.
+        """
+        item = _Pending(rows, meta)
+        with self._cond:
+            if self._closed:
+                raise BatcherClosed("batcher is closed")
+            self._pending.append(item)
+            self._pending_rows += rows.shape[0]
+            # Wake the flusher when there is something new to schedule:
+            # the first request must start the max-wait clock, and the
+            # size trigger must fire immediately.  In-between submits
+            # stay silent — the flusher's deadline wait covers them.
+            if len(self._pending) == 1 or self._pending_rows >= self.max_batch_size:
+                self._cond.notify()
+        if not item.event.wait(timeout):
+            raise SubmitTimeout(f"no batch result within {timeout}s")
+        if item.error is not None:
+            raise item.error
+        return item.result, item.context
+
+    def close(self, flush_remaining: bool = True) -> None:
+        """Stop the flusher; optionally flush whatever is still queued.
+
+        With ``flush_remaining=False`` queued requests fail with
+        :class:`BatcherClosed` instead of being scored.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not flush_remaining:
+                for item in self._pending:
+                    item.error = BatcherClosed("batcher closed before flush")
+                    item.event.set()
+                self._pending.clear()
+                self._pending_rows = 0
+            self._cond.notify_all()
+        self._thread.join(timeout=10.0)
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests currently waiting for a flush."""
+        with self._cond:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> Optional[List[_Pending]]:
+        """Block until a flush should happen; pop and return its items.
+
+        Returns ``None`` when closed and drained.  Flush boundaries are
+        drawn in whole requests: rows of one request never split across
+        flushes, so a flush can exceed ``max_batch_size`` rows when a
+        multi-row request straddles the limit.
+        """
+        with self._cond:
+            while True:
+                if self._pending:
+                    if self._pending_rows >= self.max_batch_size or self._closed:
+                        break
+                    deadline = time.monotonic() + self.max_wait_s
+                    while (
+                        self._pending
+                        and self._pending_rows < self.max_batch_size
+                        and not self._closed
+                    ):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+                    if self._pending:
+                        break
+                if self._closed:
+                    return None
+                self._cond.wait()
+            batch: List[_Pending] = []
+            rows = 0
+            while self._pending and rows < self.max_batch_size:
+                item = self._pending.pop(0)
+                batch.append(item)
+                rows += item.rows.shape[0]
+            self._pending_rows -= rows
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            total_rows = sum(item.rows.shape[0] for item in batch)
+            try:
+                # Stacking stays inside the guarded region: a batch that
+                # mixes row widths (e.g. requests validated against two
+                # models across a hot-swap) must fail *those requests*,
+                # never the flusher thread itself.
+                stacked = (
+                    batch[0].rows
+                    if len(batch) == 1
+                    else np.concatenate([item.rows for item in batch])
+                )
+                results, context = self._flush_fn(
+                    stacked, [(item.rows.shape[0], item.meta) for item in batch]
+                )
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"flush_fn returned {len(results)} results for "
+                        f"{len(batch)} requests"
+                    )
+                for item, result in zip(batch, results):
+                    item.result = result
+                    item.context = context
+            except BaseException as exc:  # delivered, not swallowed
+                for item in batch:
+                    item.error = exc
+            self.flushes += 1
+            self.rows_flushed += total_rows
+            if self._on_flush is not None:
+                try:
+                    self._on_flush(len(batch), total_rows)
+                except Exception:
+                    pass  # an observer bug must not poison the batch
+            for item in batch:
+                item.event.set()

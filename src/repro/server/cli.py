@@ -1,0 +1,145 @@
+"""The ``repro-serve`` command line: run the online gateway.
+
+Installed as a console script by ``setup.py`` and runnable without
+installation as ``python -m repro.server``::
+
+    repro-serve models/                     # serve latest published version
+    repro-serve models/ --port 9000 --watch-interval 5
+    repro-serve models/ --pin v0001-1f0f2a9c
+    repro-serve path/to/model_dir           # a bare artifact dir works too
+    repro-serve models/ --max-batch-size 64 --max-wait-ms 3
+
+The positional argument is an *artifact root* (subdirectories published
+by ``repro publish`` / :func:`repro.server.registry.publish_artifact`) or
+a single ``DSSDDI.save`` artifact directory.  ``--watch-interval N``
+hot-swaps automatically when a new version lands; ``POST /-/reload``
+always triggers a swap on demand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.config import ServerConfig
+from .app import GatewayApp
+from .http import build_server
+from .registry import ModelRegistry, NoModelError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser (exposed for docs and tests)."""
+    defaults = ServerConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Online serving gateway for DSSDDI artifacts: micro-batched "
+            "/v1/suggest, /v1/explain, /healthz, /metrics, hot-swap reload."
+        ),
+    )
+    parser.add_argument(
+        "root",
+        help="artifact root (versions published by 'repro publish') or a "
+        "single DSSDDI.save artifact directory",
+    )
+    parser.add_argument("--host", default=defaults.host)
+    parser.add_argument("--port", type=int, default=defaults.port)
+    parser.add_argument(
+        "--max-batch-size", type=int, default=defaults.max_batch_size,
+        help="micro-batch flush size trigger (1 disables coalescing)",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=defaults.max_wait_ms,
+        help="micro-batch flush time trigger in milliseconds",
+    )
+    parser.add_argument(
+        "--score-block", type=int, default=defaults.score_block,
+        help="fixed-shape scoring block for bitwise batch-independent "
+        "scores (0 = legacy variable-shape scoring)",
+    )
+    parser.add_argument(
+        "--pin", dest="pinned_version", default=None,
+        help="serve exactly this version instead of the latest",
+    )
+    parser.add_argument(
+        "--watch-interval", type=float, default=defaults.watch_interval_s,
+        help="seconds between artifact-root polls for auto hot-swap "
+        "(0 disables the watcher)",
+    )
+    parser.add_argument(
+        "--max-request-rows", type=int, default=defaults.max_request_rows,
+        help="per-request cap on patient rows",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServerConfig:
+    """Build a validated :class:`ServerConfig` from parsed CLI flags."""
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        score_block=args.score_block,
+        max_request_rows=args.max_request_rows,
+        pinned_version=args.pinned_version,
+        watch_interval_s=args.watch_interval,
+    )
+    config.validate()
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-serve`` console script."""
+    args = build_parser().parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    registry = ModelRegistry(
+        args.root,
+        pinned_version=config.pinned_version,
+        score_block=config.score_block,  # 0 is an explicit "legacy path"
+    )
+    try:
+        app = GatewayApp(registry, config)
+    except NoModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: publish one with "
+            "'repro publish --scale tiny --model-root <root>' or point "
+            "repro-serve at a DSSDDI.save directory",
+            file=sys.stderr,
+        )
+        return 2
+    server = build_server(app, host=config.host, port=config.port, verbose=args.verbose)
+    handle = registry.active()
+    print(
+        f"serving {handle.version.name} "
+        f"(drugs={handle.service.num_drugs}, "
+        f"feature_dim={handle.service.feature_dim}) "
+        f"on http://{config.host}:{server.server_address[1]}"
+    )
+    print(
+        f"micro-batching: max_batch_size={config.max_batch_size}, "
+        f"max_wait_ms={config.max_wait_ms}, score_block={config.score_block}; "
+        f"watch_interval_s={config.watch_interval_s}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""HTTP transport for the gateway: a stdlib threaded JSON server.
+
+A deliberately thin shim: every route parses JSON, calls the matching
+:class:`repro.server.app.GatewayApp` method, and serializes the result.
+Using ``http.server.ThreadingHTTPServer`` keeps the gateway free of
+third-party dependencies; each connection gets a daemon thread, and all
+the concurrency-sensitive work (batching, hot-swap, metrics) lives in
+``GatewayApp``, which is built for exactly that.
+
+Usage::
+
+    server = build_server(app, host="127.0.0.1", port=8035)
+    serve_forever(server)          # blocking; or server in a thread
+
+``build_server`` binds immediately (port 0 picks a free port — tests use
+this), so by the time it returns, ``/healthz`` is reachable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Tuple
+
+from .app import GatewayApp, RequestError, parse_json_body
+
+#: Hard cap on accepted request bodies (1 MiB is ~1300 patient rows).
+MAX_BODY_BYTES = 1 << 20
+
+
+class GatewayRequestHandler(BaseHTTPRequestHandler):
+    """Route table of the gateway's HTTP surface."""
+
+    #: Set by :func:`build_server`.
+    app: GatewayApp = None  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+    #: Micro-batched request/response round-trips are latency-critical;
+    #: leaving Nagle on costs a delayed-ACK stall (~40 ms) per request.
+    disable_nagle_algorithm = True
+    #: Quiet by default; ``build_server(verbose=True)`` restores logging.
+    verbose = False
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802  (http.server API)
+        """Dispatch ``GET`` routes (healthz, metrics, versions)."""
+        try:
+            if self.path == "/healthz":
+                self._send_json(*self.app.healthz())
+            elif self.path == "/metrics":
+                self._send_text(200, self.app.metrics_text())
+            elif self.path == "/v1/versions":
+                self._send_json(*self.app.versions())
+            else:
+                self._send_json(
+                    404, {"error": f"no such endpoint: GET {self.path}"}
+                )
+        except Exception as exc:  # never drop the connection responseless
+            self._send_internal_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802  (http.server API)
+        """Dispatch ``POST`` routes (suggest, explain, reload)."""
+        try:
+            try:
+                # Drain the body before routing, whatever the outcome — a
+                # keep-alive connection desyncs if unread bytes linger.
+                raw = self._read_body()
+            except RequestError as exc:
+                self._send_json(400, {"error": str(exc)})
+                self.close_connection = True
+                return
+            if self.path == "/-/reload":
+                self._send_json(*self.app.reload())  # body intentionally unused
+                return
+            routes = {
+                "/v1/suggest": self.app.suggest,
+                "/v1/explain": self.app.explain,
+            }
+            handler = routes.get(self.path)
+            if handler is None:
+                self._send_json(
+                    404, {"error": f"no such endpoint: POST {self.path}"}
+                )
+                return
+            try:
+                body = parse_json_body(raw)
+            except RequestError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            status, response = handler(body)
+            self._send_json(status, response)
+        except Exception as exc:  # never drop the connection responseless
+            self._send_internal_error(exc)
+
+    # ------------------------------------------------------------------
+    def _send_internal_error(self, exc: Exception) -> None:
+        """Best-effort 500: the client sees an error, not a reset."""
+        try:
+            self._send_json(
+                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            )
+        except OSError:
+            pass  # headers already sent or socket gone
+        self.close_connection = True
+
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise RequestError("invalid Content-Length header") from None
+        if length > MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        raw = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, raw, "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(
+            status, text.encode("utf-8"), "text/plain; version=0.0.4"
+        )
+
+    def _send_bytes(self, status: int, raw: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def log_message(self, fmt: str, *args) -> None:
+        """Per-request access logging, silenced unless ``verbose``."""
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+
+def build_server(
+    app: GatewayApp,
+    host: str = "127.0.0.1",
+    port: int = 8035,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Bind a threaded HTTP server serving ``app`` (port 0 = ephemeral)."""
+    handler = type(
+        "BoundGatewayHandler",
+        (GatewayRequestHandler,),
+        {"app": app, "verbose": verbose},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_in_thread(
+    server: ThreadingHTTPServer,
+) -> Tuple[threading.Thread, Callable[[], None]]:
+    """Run ``server.serve_forever`` on a daemon thread; returns a stopper.
+
+    Tests and the load generator use this to host a live gateway inside
+    one process::
+
+        server = build_server(app, port=0)
+        thread, stop = serve_in_thread(server)
+        ...
+        stop()
+    """
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-gateway-http", daemon=True
+    )
+    thread.start()
+
+    def stop() -> None:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+    return thread, stop

@@ -1,0 +1,378 @@
+"""Load generator for the gateway: closed-loop traffic + BENCH_server.json.
+
+Drives a gateway with ``concurrency`` closed-loop workers (each sends its
+next request as soon as the previous one answers — the standard way to
+measure a serving system's throughput/latency trade-off) for a fixed
+duration and reports throughput, latency percentiles, error counts, and
+the observed micro-batch sizes.
+
+Two transports, same traffic:
+
+* **HTTP** (:class:`HTTPTarget`) — real ``POST /v1/suggest`` requests
+  over persistent ``http.client`` connections against a live gateway;
+  what the CI smoke job runs.
+* **in-process** (:class:`InprocTarget`) — drives
+  :meth:`repro.server.app.GatewayApp.suggest` directly, which measures
+  the serving stack (batcher + registry + scorer + metrics) without the
+  socket stack; what the batching-efficiency benchmark uses so the
+  batched vs. batch-size-1 comparison is not drowned in HTTP overhead.
+
+Traffic shape: single-patient requests drawn from a synthetic feature
+pool (seeded Gaussian rows of the model's feature dimension — the scorer
+is scale-oblivious at serving time, so this exercises the identical code
+path as real cohort features).  ``hot_fraction`` focuses that draw on a
+few hot rows to mimic the skew of production traffic.
+
+As a script (see ``repro-serve`` docs; also ``python -m
+repro.server.loadgen``) it targets a running gateway over HTTP and merges
+its report into ``BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import socket
+import sys
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
+from urllib.parse import urlsplit
+
+import numpy as np
+
+#: Where the bench report lands unless --output overrides it.
+DEFAULT_REPORT = "BENCH_server.json"
+
+
+@dataclass
+class LoadReport:
+    """Result of one load-generation run.
+
+    Attributes:
+        requests / errors: completed and failed request counts.
+        duration_s: measured wall-clock of the run.
+        throughput_rps: requests per second (completed only).
+        p50_ms / p90_ms / p99_ms: latency percentiles over all requests.
+        mean_latency_ms: mean request latency.
+        concurrency: closed-loop worker count.
+        mean_batch_rows: mean rows per micro-batch flush observed by the
+            gateway during the run (0 when the target cannot report it).
+    """
+
+    requests: int
+    errors: int
+    duration_s: float
+    throughput_rps: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    mean_latency_ms: float
+    concurrency: int
+    mean_batch_rows: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation."""
+        return asdict(self)
+
+
+class InprocTarget:
+    """Drive a :class:`~repro.server.app.GatewayApp` without sockets."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    def connect(self):
+        """Workers share the app; nothing per-worker to set up."""
+        return self
+
+    def request(self, payload: Dict[str, Any]) -> int:
+        """One suggest call; returns the HTTP-equivalent status code."""
+        status, _body = self.app.suggest(payload)
+        return status
+
+    def batch_stats(self) -> float:
+        """Mean rows per flush from the app's batch histogram."""
+        return self.app.metrics.batch_sizes.mean
+
+
+class HTTPTarget:
+    """Drive a live gateway over persistent HTTP connections."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"only http:// targets are supported, got {base_url!r}")
+        netloc = parts.netloc or parts.path  # allow bare host:port
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port or 80)
+        self.timeout = timeout
+
+    def connect(self) -> "_HTTPWorkerConnection":
+        """A keep-alive connection owned by one worker thread."""
+        return _HTTPWorkerConnection(self.host, self.port, self.timeout)
+
+    def batch_stats(self) -> float:
+        """HTTP targets do not expose flush sizes; the report shows 0."""
+        return 0.0
+
+
+class _HTTPWorkerConnection:
+    """One worker's persistent connection to the gateway."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self._host, self._port, self._timeout = host, port, timeout
+        self._conn = self._connect()
+
+    def _connect(self) -> http.client.HTTPConnection:
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        conn.connect()
+        # Request/response ping-pong on a keep-alive connection: without
+        # TCP_NODELAY every request risks a Nagle/delayed-ACK stall.
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def request(self, payload: Dict[str, Any]) -> int:
+        """One suggest POST; returns the status (-1 = transport error)."""
+        body = json.dumps(payload)
+        try:
+            self._conn.request(
+                "POST",
+                "/v1/suggest",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = self._conn.getresponse()
+            response.read()  # drain so the connection can be reused
+            return response.status
+        except (http.client.HTTPException, OSError):
+            try:
+                self._conn.close()
+                self._conn = self._connect()
+            except OSError:
+                pass
+            return -1
+
+
+def make_feature_pool(
+    feature_dim: int, pool_size: int = 256, seed: int = 7
+) -> np.ndarray:
+    """Seeded synthetic patient rows matching the model's feature width."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((pool_size, feature_dim))
+
+
+def run_load(
+    target,
+    feature_pool: np.ndarray,
+    duration_s: float = 2.0,
+    concurrency: int = 32,
+    k: int = 3,
+    hot_fraction: float = 0.0,
+    hot_rows: int = 8,
+    seed: int = 23,
+) -> LoadReport:
+    """Closed-loop load: ``concurrency`` workers for ``duration_s`` seconds.
+
+    Each worker draws a row from ``feature_pool`` (with probability
+    ``hot_fraction`` from its first ``hot_rows`` rows — skewed traffic),
+    sends ``{"features": [row], "k": k}``, and records the latency.
+    Returns a :class:`LoadReport`; failed requests count as errors and
+    do not contribute latencies.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Pre-build a payload ring per worker so the measurement loop does no
+    # numpy work of its own.
+    ring_size = 64
+    rings: List[List[Dict[str, Any]]] = []
+    for _worker in range(concurrency):
+        ring = []
+        for _ in range(ring_size):
+            if hot_fraction and rng.random() < hot_fraction:
+                row = feature_pool[int(rng.integers(0, min(hot_rows, len(feature_pool))))]
+            else:
+                row = feature_pool[int(rng.integers(0, len(feature_pool)))]
+            ring.append({"features": [row.tolist()], "k": k})
+        rings.append(ring)
+
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+    stop = threading.Event()
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(index: int) -> None:
+        try:
+            conn = target.connect()
+        except Exception:
+            # A worker that cannot even connect must not leave the
+            # barrier waiting forever: break it so everyone fails fast.
+            errors[index] += 1
+            barrier.abort()
+            return
+        ring = rings[index]
+        mine = latencies[index]
+        try:
+            barrier.wait()
+        except threading.BrokenBarrierError:
+            return
+        i = 0
+        while not stop.is_set():
+            started = time.perf_counter()
+            status = conn.request(ring[i % ring_size])
+            elapsed = time.perf_counter() - started
+            if status == 200:
+                mine.append(elapsed)
+            else:
+                errors[index] += 1
+            i += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        barrier.wait(timeout=60.0)
+    except threading.BrokenBarrierError:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        return LoadReport(
+            requests=0,
+            errors=max(1, sum(errors)),
+            duration_s=0.0,
+            throughput_rps=0.0,
+            p50_ms=0.0,
+            p90_ms=0.0,
+            p99_ms=0.0,
+            mean_latency_ms=0.0,
+            concurrency=concurrency,
+        )
+    started = time.perf_counter()
+    time.sleep(duration_s)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    elapsed = time.perf_counter() - started
+
+    all_latencies = np.array(
+        [value for worker_latencies in latencies for value in worker_latencies]
+    )
+    requests = int(all_latencies.size)
+    if requests:
+        p50, p90, p99 = (
+            float(np.percentile(all_latencies, q) * 1e3) for q in (50, 90, 99)
+        )
+        mean_ms = float(all_latencies.mean() * 1e3)
+    else:
+        p50 = p90 = p99 = mean_ms = 0.0
+    return LoadReport(
+        requests=requests,
+        errors=sum(errors),
+        duration_s=elapsed,
+        throughput_rps=requests / elapsed if elapsed > 0 else 0.0,
+        p50_ms=p50,
+        p90_ms=p90,
+        p99_ms=p99,
+        mean_latency_ms=mean_ms,
+        concurrency=concurrency,
+        mean_batch_rows=target.batch_stats(),
+    )
+
+
+def merge_report(path: str, key: str, payload: Dict[str, Any]) -> None:
+    """Merge ``payload`` under ``key`` in the JSON report at ``path``.
+
+    The benchmark and the HTTP load generator both write to
+    ``BENCH_server.json``; merging keeps one file with every section.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+        if not isinstance(report, dict):
+            report = {}
+    except (FileNotFoundError, json.JSONDecodeError):
+        report = {}
+    report[key] = payload
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _fetch_healthz(url: str, timeout: float = 10.0) -> Dict[str, Any]:
+    target = HTTPTarget(url)
+    conn = http.client.HTTPConnection(target.host, target.port, timeout=timeout)
+    conn.request("GET", "/healthz")
+    response = conn.getresponse()
+    raw = response.read()
+    conn.close()
+    if response.status != 200:
+        raise RuntimeError(f"healthz returned {response.status}: {raw[:200]!r}")
+    return json.loads(raw)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: load-generate against a live gateway over HTTP."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.loadgen",
+        description="Closed-loop load generator for the repro-serve gateway.",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8035")
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument(
+        "--hot-fraction", type=float, default=0.0,
+        help="fraction of requests drawn from a few hot rows (skewed traffic)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help=f"merge the report into this JSON file (e.g. {DEFAULT_REPORT})",
+    )
+    parser.add_argument(
+        "--report-key", default="loadgen_http",
+        help="section name used inside the output JSON",
+    )
+    args = parser.parse_args(argv)
+
+    health = _fetch_healthz(args.url)
+    print(
+        f"gateway {args.url}: version={health.get('version')} "
+        f"feature_dim={health.get('feature_dim')} num_drugs={health.get('num_drugs')}"
+    )
+    pool = make_feature_pool(int(health["feature_dim"]))
+    report = run_load(
+        HTTPTarget(args.url),
+        pool,
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+        k=args.k,
+        hot_fraction=args.hot_fraction,
+    )
+    print(
+        f"{report.requests} requests in {report.duration_s:.2f}s "
+        f"({report.throughput_rps:.0f}/s, concurrency {report.concurrency}), "
+        f"{report.errors} errors"
+    )
+    print(
+        f"latency ms: p50 {report.p50_ms:.2f}  p90 {report.p90_ms:.2f}  "
+        f"p99 {report.p99_ms:.2f}  mean {report.mean_latency_ms:.2f}"
+    )
+    if args.output:
+        payload = report.to_dict()
+        payload["url"] = args.url
+        payload["version"] = health.get("version")
+        merge_report(args.output, args.report_key, payload)
+        print(f"merged section {args.report_key!r} into {args.output}")
+    return 0 if report.errors == 0 and report.requests > 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

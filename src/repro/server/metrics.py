@@ -1,0 +1,234 @@
+"""Gateway telemetry: counters, latency percentiles, batch histogram.
+
+Everything here is stdlib-only and thread-safe (one lock per collector),
+sized for a hot path that records a few numbers per request:
+
+* :class:`CounterSet` — monotonically increasing labelled counters.
+* :class:`LatencyReservoir` — reservoir-sampled latency observations with
+  exact count/sum, from which ``/metrics`` derives p50/p90/p99.
+* :class:`BatchSizeHistogram` — power-of-two bucketed flush sizes, the
+  direct view of how well the micro-batcher is coalescing traffic.
+* :class:`GatewayMetrics` — the bundle one gateway owns, with
+  :meth:`GatewayMetrics.render` producing Prometheus text exposition
+  format (counters as ``_total``, the reservoir as a summary with
+  quantile labels, the histogram with cumulative ``le`` buckets).
+
+Reservoir sampling (algorithm R) keeps a bounded, uniformly drawn subset
+of all observations, so percentiles stay O(reservoir) to compute and the
+estimator does not drift toward the most recent burst the way a ring
+buffer would.  The RNG is seeded per instance: metrics are statistics,
+not model outputs, but a deterministic reservoir makes tests exact.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Upper edges of the batch-size histogram buckets (plus +Inf implied).
+BATCH_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Quantiles exposed by the latency summary.
+QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+class CounterSet:
+    """Labelled monotonic counters (name, label-tuple) -> int."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+
+    def inc(self, name: str, labels: Optional[Dict[str, str]] = None, by: int = 1) -> None:
+        """Add ``by`` to the counter ``name`` with the given labels."""
+        key = (name, tuple(sorted((labels or {}).items())))
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + by
+
+    def value(self, name: str, labels: Optional[Dict[str, str]] = None) -> int:
+        """Current value (0 if the counter has never been incremented)."""
+        key = (name, tuple(sorted((labels or {}).items())))
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def items(self) -> List[Tuple[str, Dict[str, str], int]]:
+        """Snapshot of every counter as (name, labels, value)."""
+        with self._lock:
+            snapshot = dict(self._values)
+        return [(name, dict(labels), v) for (name, labels), v in sorted(snapshot.items())]
+
+
+class LatencyReservoir:
+    """Uniform reservoir sample of latency observations (algorithm R).
+
+    Tracks the exact observation count and sum alongside a bounded
+    uniform sample, which is all a Prometheus-style summary needs:
+    quantiles come from the sample, rate/mean from count and sum.
+    """
+
+    def __init__(self, size: int, seed: int = 1299821) -> None:
+        if size < 1:
+            raise ValueError("reservoir size must be >= 1")
+        self.size = size
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._sample: List[float] = []
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds)."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if len(self._sample) < self.size:
+                self._sample.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.size:
+                    self._sample[slot] = value
+
+    def quantile(self, q: float) -> float:
+        """Sample quantile (nearest-rank); 0.0 before any observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            sample = sorted(self._sample)
+        if not sample:
+            return 0.0
+        rank = min(len(sample) - 1, int(q * len(sample)))
+        return sample[rank]
+
+    def snapshot(self) -> Tuple[int, float, List[float]]:
+        """(count, sum, sorted sample) under one lock acquisition."""
+        with self._lock:
+            return self.count, self.total, sorted(self._sample)
+
+
+class BatchSizeHistogram:
+    """Histogram of micro-batch flush sizes over power-of-two buckets."""
+
+    def __init__(self, buckets: Sequence[int] = BATCH_BUCKETS) -> None:
+        self.buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # + overflow
+        self.count = 0
+        self.total = 0
+
+    def observe(self, size: int) -> None:
+        """Record one flush of ``size`` coalesced rows."""
+        with self._lock:
+            self.count += 1
+            self.total += size
+            for i, edge in enumerate(self.buckets):
+                if size <= edge:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean flush size; 0.0 before any flush."""
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """Prometheus-style cumulative buckets as (le, count), ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for edge, c in zip(self.buckets, counts):
+            running += c
+            out.append((str(edge), running))
+        out.append(("+Inf", running + counts[-1]))
+        return out
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class GatewayMetrics:
+    """The metric bundle of one gateway instance.
+
+    Collectors:
+
+    * ``counters`` — request/error/swap counts, incremented by the app.
+    * ``latency`` — per-endpoint reservoirs created on first use.
+    * ``batch_sizes`` — flush sizes reported by the micro-batcher.
+    """
+
+    def __init__(self, reservoir_size: int = 4096) -> None:
+        self.counters = CounterSet()
+        self.batch_sizes = BatchSizeHistogram()
+        self._reservoir_size = reservoir_size
+        self._latency: Dict[str, LatencyReservoir] = {}
+        self._lock = threading.Lock()
+
+    def latency(self, endpoint: str) -> LatencyReservoir:
+        """The latency reservoir for ``endpoint`` (created on first use)."""
+        with self._lock:
+            reservoir = self._latency.get(endpoint)
+            if reservoir is None:
+                reservoir = LatencyReservoir(self._reservoir_size)
+                self._latency[endpoint] = reservoir
+            return reservoir
+
+    def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one finished request: count by status class + latency."""
+        self.counters.inc(
+            "repro_server_requests_total",
+            {"endpoint": endpoint, "status": str(status)},
+        )
+        self.latency(endpoint).observe(seconds)
+
+    def render(self, extra_gauges: Optional[Iterable[Tuple[str, Dict[str, str], float]]] = None) -> str:
+        """Prometheus text exposition of every collector.
+
+        ``extra_gauges`` lets the app append point-in-time gauges
+        (model version info, uptime, cache sizes) without the metrics
+        layer knowing about the registry or the service.
+        """
+        lines: List[str] = []
+
+        # counters.items() is sorted by (name, labels): one TYPE header
+        # per family, immediately followed by that family's samples.
+        current_family = None
+        for name, labels, value in self.counters.items():
+            if name != current_family:
+                lines.append(f"# TYPE {name} counter")
+                current_family = name
+            lines.append(f"{name}{_fmt_labels(labels)} {value}")
+
+        with self._lock:
+            endpoints = sorted(self._latency)
+        lines.append("# TYPE repro_server_request_latency_seconds summary")
+        for endpoint in endpoints:
+            count, total, sample = self._latency[endpoint].snapshot()
+            for q in QUANTILES:
+                if sample:
+                    rank = min(len(sample) - 1, int(q * len(sample)))
+                    value = sample[rank]
+                else:
+                    value = 0.0
+                labels = _fmt_labels({"endpoint": endpoint, "quantile": str(q)})
+                lines.append(f"repro_server_request_latency_seconds{labels} {value:.9f}")
+            base = _fmt_labels({"endpoint": endpoint})
+            lines.append(f"repro_server_request_latency_seconds_count{base} {count}")
+            lines.append(f"repro_server_request_latency_seconds_sum{base} {total:.9f}")
+
+        lines.append("# TYPE repro_server_batch_size histogram")
+        for le, value in self.batch_sizes.cumulative():
+            lines.append(f'repro_server_batch_size_bucket{{le="{le}"}} {value}')
+        lines.append(f"repro_server_batch_size_count {self.batch_sizes.count}")
+        lines.append(f"repro_server_batch_size_sum {self.batch_sizes.total}")
+
+        for name, labels, value in extra_gauges or ():
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{_fmt_labels(labels)} {value}")
+        return "\n".join(lines) + "\n"

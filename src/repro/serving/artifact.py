@@ -34,13 +34,17 @@ from ..data.catalog import Drug
 from ..data.ddi import DDIDataset
 from ..graph import SignedGraph
 
-#: Version 2 added the propagation_backend / score_chunk_rows config
-#: fields; bumping it means pre-1.2 readers fail with the clean
-#: "unsupported artifact format version" error instead of a confusing
-#: unknown-config-field error.  Version-1 artifacts (which simply lack
-#: the new fields) still load: the config defaults fill them in.
-FORMAT_VERSION = 2
-READABLE_VERSIONS = (1, 2)
+#: Schema version of the artifact directory.  Version 2 added the
+#: propagation_backend / score_chunk_rows config fields; version 3 added
+#: the serving ``score_block`` field (fixed-shape deterministic scoring
+#: for the online gateway).  Bumping it means older readers fail with
+#: the clean "unsupported artifact format version" error instead of a
+#: confusing unknown-config-field error.  Older artifacts (which simply
+#: lack the newer fields) still load: the config defaults fill them in —
+#: ``tests/serving/test_compat.py`` pins the bitwise round-trip for the
+#: PR-1 layout.
+FORMAT_VERSION = 3
+READABLE_VERSIONS = (1, 2, 3)
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
 

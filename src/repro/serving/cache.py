@@ -1,20 +1,26 @@
-"""A small LRU cache with hit/miss accounting.
+"""A small thread-safe LRU cache with hit/miss accounting.
 
 The suggestion service uses it for MS-module explanations: an explanation
 depends only on the suggested drug *set* (see
 :func:`repro.core.ms_module.canonical_suggestion`), and real traffic is
 heavily skewed toward a few popular suggestion sets, so repeated
 suggestions across patients are served without re-running Algorithm 1.
+
+Every operation holds one internal lock, which makes the cache safe under
+the online gateway's worker threads (:mod:`repro.server`): concurrent
+``get``/``put`` on the same key at worst compute one explanation twice,
+never corrupt the eviction order or the counters.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
 
 class LRUCache:
-    """Least-recently-used cache with hit/miss counters.
+    """Least-recently-used cache with hit/miss counters (thread-safe).
 
     ``maxsize=0`` disables the cache entirely (every lookup misses and
     nothing is stored), which keeps the calling code branch-free.
@@ -32,33 +38,37 @@ class LRUCache:
             raise ValueError("maxsize must be >= 0")
         self.maxsize = maxsize
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached value (marking it most recently used) or None."""
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``key``, evicting the least recently used entry if full."""
         if self.maxsize == 0:
             return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def hit_rate(self) -> float:
@@ -67,10 +77,12 @@ class LRUCache:
         return self.hits / total if total else 0.0
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __repr__(self) -> str:
         return (

@@ -83,6 +83,11 @@ class BatchScorer:
                 f"match drug representation width {expected_in - 1} + treatment"
             )
 
+    @property
+    def feature_dim(self) -> int:
+        """Width of the patient feature vectors the scorer consumes."""
+        return self.patient_weight.shape[0]
+
     @classmethod
     def from_md_module(cls, md_module: MDModule) -> "BatchScorer":
         """Freeze a fitted MD module's scoring state into a scorer."""
@@ -140,3 +145,45 @@ class BatchScorer:
             if i < last:
                 z = np.maximum(z, 0.0)
         return _stable_sigmoid(z.reshape(-1)).reshape(batch, n)
+
+    def scores_blocked(self, patient_features: np.ndarray, block: int) -> np.ndarray:
+        """Fixed-shape scoring: bitwise-independent of batch composition.
+
+        :meth:`scores` feeds BLAS matrices whose row count varies with
+        the request batch, and BLAS kernels pick shape-dependent code
+        paths (gemv vs. gemm, SIMD tail handling), so the *same patient*
+        can score differently in the last bit depending on who shares
+        their batch.  That is fine for offline evaluation but breaks the
+        online gateway's contract that micro-batched results equal
+        sequential ones bitwise.
+
+        This method therefore scores in fixed chunks of exactly
+        ``block`` patients — the final chunk padded by repeating its
+        last row, padding rows discarded — so every BLAS call in the
+        pipeline sees the same shapes no matter how requests were
+        coalesced.  Per-row results of a fixed-shape call do not depend
+        on the other rows' values or on a row's position (each output
+        row is an independent dot-product accumulation), which makes the
+        output a pure function of each patient's features.
+
+        A batch of exactly ``block`` rows is bitwise-identical to
+        :meth:`scores` on the same rows (it *is* the same call).
+        """
+        if block < 2:
+            # block == 1 would route single rows through BLAS gemv,
+            # whose tail handling differs from the gemm path used for
+            # multi-row chunks — exactly the nondeterminism this method
+            # exists to remove.
+            raise ValueError("block must be >= 2")
+        x = np.atleast_2d(np.asarray(patient_features, dtype=np.float64))
+        batch = x.shape[0]
+        out = np.empty((batch, self.num_drugs), dtype=np.float64)
+        for start in range(0, batch, block):
+            chunk = x[start : start + block]
+            real = chunk.shape[0]
+            if real < block:
+                chunk = np.concatenate(
+                    [chunk, np.repeat(chunk[-1:], block - real, axis=0)]
+                )
+            out[start : start + real] = self.scores(chunk)[:real]
+        return out

@@ -22,6 +22,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -100,6 +101,10 @@ class SuggestionService:
             antagonism_penalty=self.config.antagonism_penalty,
             hard_exclude=self.config.hard_exclude,
         )
+        # Counter increments happen under this lock so the service can
+        # sit behind the multi-threaded gateway (repro.server) without
+        # losing updates; the numeric hot path itself is read-only.
+        self._stats_lock = threading.Lock()
         self._requests = 0
         self._patients_scored = 0
         self._explanations_served = 0
@@ -117,11 +122,26 @@ class SuggestionService:
         """Size of the drug catalog the model scores over."""
         return self._scorer.num_drugs
 
+    @property
+    def feature_dim(self) -> int:
+        """Width of the patient feature vectors the model consumes."""
+        return self._scorer.feature_dim
+
     def predict_scores(self, patient_features: np.ndarray) -> np.ndarray:
-        """Suggestion scores (batch, n_drugs); matches ``DSSDDI.predict_scores``."""
+        """Suggestion scores (batch, n_drugs); matches ``DSSDDI.predict_scores``.
+
+        With ``config.score_block`` set (>= 2) the batch is scored in
+        fixed-shape chunks (:meth:`BatchScorer.scores_blocked`), making
+        each patient's scores bitwise-independent of the batch they
+        arrived in — the contract the online gateway's micro-batcher is
+        built on.
+        """
         x = np.atleast_2d(np.asarray(patient_features, dtype=np.float64))
-        self._requests += 1
-        self._patients_scored += x.shape[0]
+        with self._stats_lock:
+            self._requests += 1
+            self._patients_scored += x.shape[0]
+        if self.config.score_block:
+            return self._scorer.scores_blocked(x, self.config.score_block)
         return self._scorer.scores(x)
 
     def suggest(
@@ -132,8 +152,18 @@ class SuggestionService:
         Plain score top-k by default; the DDI-aware greedy re-ranker when
         ``config.rerank`` is set.
         """
+        return self.topk_from_scores(self.predict_scores(patient_features), k)
+
+    def topk_from_scores(
+        self, scores: np.ndarray, k: Optional[int] = None
+    ) -> np.ndarray:
+        """The suggestion step of :meth:`suggest` on precomputed scores.
+
+        Exposed so the gateway's micro-batcher can score a coalesced
+        batch once and still produce per-request suggestions through
+        exactly the code path sequential ``suggest`` uses.
+        """
         k = self.config.default_k if k is None else k
-        scores = self.predict_scores(patient_features)
         if self.config.rerank:
             return rerank_topk(
                 scores, self._ms.ddi, k, config=self._rerank_config
@@ -142,7 +172,8 @@ class SuggestionService:
 
     def explain(self, suggested: Sequence[int]) -> Explanation:
         """MS-module explanation for one suggested drug set, LRU-cached."""
-        self._requests += 1
+        with self._stats_lock:
+            self._requests += 1
         return self._explain_cached(canonical_suggestion(suggested))
 
     def suggest_and_explain(
@@ -160,7 +191,8 @@ class SuggestionService:
         ]
 
     def _explain_cached(self, key: Tuple[int, ...]) -> Explanation:
-        self._explanations_served += 1
+        with self._stats_lock:
+            self._explanations_served += 1
         explanation = self._cache.get(key)
         if explanation is None:
             explanation = self._ms.explain(key)
@@ -170,13 +202,14 @@ class SuggestionService:
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
         """Snapshot of the request and cache counters."""
-        return ServiceStats(
-            requests=self._requests,
-            patients_scored=self._patients_scored,
-            explanations_served=self._explanations_served,
-            cache_hits=self._cache.hits,
-            cache_misses=self._cache.misses,
-        )
+        with self._stats_lock:
+            return ServiceStats(
+                requests=self._requests,
+                patients_scored=self._patients_scored,
+                explanations_served=self._explanations_served,
+                cache_hits=self._cache.hits,
+                cache_misses=self._cache.misses,
+            )
 
     def clear_cache(self) -> None:
         """Drop cached explanations and reset the cache counters."""

@@ -1,0 +1,91 @@
+"""The pipeline -> serving bridge: chronic.publish and cache pruning."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import PipelineConfig, StageCache, run_stage
+from repro.pipeline.cli import main as cli_main
+from repro.serving import SuggestionService
+from repro.server import scan_versions
+
+
+def _cfg(tmp_path, **kw):
+    kw.setdefault("scale", "tiny")
+    kw.setdefault("model_root", str(tmp_path / "models"))
+    return PipelineConfig(cache_dir=str(tmp_path / "cache"), **kw)
+
+
+class TestPublishStage:
+    def test_publish_writes_a_servable_version(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        info = run_stage("chronic.publish", cfg)
+        assert info["version"].startswith("v0001-")
+        versions = scan_versions(tmp_path / "models")
+        assert [v.name for v in versions] == [info["version"]]
+        assert versions[0].digest == info["digest"]
+        service = SuggestionService.load(versions[0].path)
+        suggestions = service.suggest(np.zeros((2, service.feature_dim)), k=3)
+        assert suggestions.shape == (2, 3)
+
+    def test_republish_reuses_cached_fit_and_version(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        first = run_stage("chronic.publish", cfg)
+        again = run_stage("chronic.publish", cfg)
+        # Identical fit (cache hit) -> identical digest -> same version.
+        assert again["version"] == first["version"]
+        assert len(scan_versions(tmp_path / "models")) == 1
+
+    def test_cli_publish(self, tmp_path, capsys):
+        rc = cli_main(
+            [
+                "publish",
+                "--scale",
+                "tiny",
+                "--model-root",
+                str(tmp_path / "models"),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "published v0001-" in out
+        assert scan_versions(tmp_path / "models")
+
+
+class TestCachePrune:
+    @pytest.fixture()
+    def populated_cache(self, tmp_path):
+        cache = StageCache(tmp_path / "cache")
+        for i in range(5):
+            cache.store(f"key{i}", "stage.a", "json", {"i": i})
+        cache.store("other", "stage.b", "json", {"b": 1})
+        return cache
+
+    def test_prune_keeps_newest_per_stage(self, populated_cache):
+        removed = populated_cache.prune(keep_last=2)
+        remaining = populated_cache.entries()
+        by_stage = {}
+        for entry in remaining:
+            by_stage.setdefault(entry.stage, []).append(entry.key)
+        assert len(by_stage["stage.a"]) == 2
+        # stage.b untouched: pruning is per stage, not global.
+        assert by_stage["stage.b"] == ["other"]
+        assert len(removed) == 3
+        assert all(e.stage == "stage.a" for e in removed)
+
+    def test_prune_validates(self, populated_cache):
+        with pytest.raises(ValueError):
+            populated_cache.prune(0)
+
+    def test_cli_prune(self, tmp_path, populated_cache, capsys):
+        rc = cli_main(
+            ["cache", "prune", "--keep-last", "1", "--cache-dir",
+             str(populated_cache.root)]
+        )
+        assert rc == 0
+        assert "pruned 4 entrie(s)" in capsys.readouterr().out
+
+    def test_cli_prune_requires_keep_last(self, tmp_path):
+        rc = cli_main(["cache", "prune", "--cache-dir", str(tmp_path / "c")])
+        assert rc == 2

@@ -1,0 +1,35 @@
+"""Shared fixtures for the gateway tests: one tiny fitted system.
+
+The fit (120 patients, hidden 16, short epochs) takes well under a
+second; session scope shares it across every test module here.
+"""
+
+import pytest
+
+from repro.core import DSSDDI, DSSDDIConfig, DDIGCNConfig, MDGCNConfig
+from repro.data import generate_chronic_cohort, split_patients, standardize_features
+from repro.server import publish_artifact
+
+
+@pytest.fixture(scope="session")
+def fitted_system():
+    """(fitted DSSDDI, standardized held-out features) at toy scale."""
+    cohort = generate_chronic_cohort(num_patients=120, seed=5)
+    x = standardize_features(cohort.features)
+    split = split_patients(120, seed=1)
+    config = DSSDDIConfig(
+        ddi=DDIGCNConfig(epochs=10, hidden_dim=16),
+        md=MDGCNConfig(epochs=30, hidden_dim=16),
+    )
+    system = DSSDDI(config)
+    system.fit(x[split.train], cohort.medications[split.train], cohort.ddi)
+    return system, x[split.test]
+
+
+@pytest.fixture(scope="session")
+def model_root(fitted_system, tmp_path_factory):
+    """An artifact root with one published version of the tiny system."""
+    system, _pool = fitted_system
+    root = tmp_path_factory.mktemp("registry") / "models"
+    publish_artifact(system, root)
+    return root

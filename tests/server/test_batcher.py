@@ -1,0 +1,216 @@
+"""Unit tests for the dynamic micro-batcher (no model involved).
+
+The flush function here is a transparent stand-in (identity over rows,
+recording flush compositions), so these tests pin the *scheduling*
+contract: coalescing, flush triggers, result routing, error propagation
+and shutdown semantics.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.server import BatcherClosed, MicroBatcher, SubmitTimeout
+
+
+def identity_flush(record=None):
+    """A flush_fn echoing each item's rows, optionally recording batches."""
+
+    def flush(stacked, items):
+        if record is not None:
+            record.append([rows for rows, _meta in items])
+        out = []
+        offset = 0
+        for rows, _meta in items:
+            out.append(stacked[offset : offset + rows])
+            offset += rows
+        return out, "ctx"
+
+    return flush
+
+
+def rows(*values):
+    return np.asarray(values, dtype=np.float64)[:, None]
+
+
+class TestRouting:
+    def test_single_request_round_trip(self):
+        batcher = MicroBatcher(identity_flush(), max_batch_size=8, max_wait_ms=1.0)
+        result, ctx = batcher.submit(rows(1.0, 2.0))
+        assert result.tolist() == [[1.0], [2.0]]
+        assert ctx == "ctx"
+        batcher.close()
+
+    def test_concurrent_submits_coalesce_into_one_flush(self):
+        record = []
+        batcher = MicroBatcher(
+            identity_flush(record), max_batch_size=16, max_wait_ms=200.0
+        )
+        barrier = threading.Barrier(16)
+        results = [None] * 16
+
+        def worker(i):
+            barrier.wait()
+            results[i], _ = batcher.submit(rows(float(i)))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batcher.close()
+        # Every request got its own row back...
+        assert all(results[i].tolist() == [[float(i)]] for i in range(16))
+        # ...and the size trigger produced one full flush, far before the
+        # 200 ms wait trigger could have.
+        assert batcher.flushes == 1
+        assert batcher.rows_flushed == 16
+
+    def test_max_wait_flushes_partial_batch(self):
+        batcher = MicroBatcher(identity_flush(), max_batch_size=64, max_wait_ms=10.0)
+        started = time.perf_counter()
+        result, _ = batcher.submit(rows(7.0))
+        elapsed = time.perf_counter() - started
+        assert result.tolist() == [[7.0]]
+        assert elapsed < 5.0  # wait trigger, not the submit timeout
+        batcher.close()
+
+    def test_batch_size_one_serves_requests_individually(self):
+        record = []
+        batcher = MicroBatcher(identity_flush(record), max_batch_size=1, max_wait_ms=50.0)
+        for value in (1.0, 2.0, 3.0):
+            batcher.submit(rows(value))
+        batcher.close()
+        assert batcher.flushes == 3
+        assert all(len(batch) == 1 for batch in record)
+
+    def test_multi_row_requests_stay_intact(self):
+        record = []
+        batcher = MicroBatcher(identity_flush(record), max_batch_size=4, max_wait_ms=50.0)
+        out, _ = batcher.submit(np.arange(10, dtype=np.float64)[:, None])
+        assert out.shape == (10, 1)  # exceeds max_batch_size but never splits
+        batcher.close()
+        assert record and len(record[0]) == 1
+
+
+class TestFailureModes:
+    def test_flush_error_propagates_to_every_request(self):
+        def explode(stacked, items):
+            raise RuntimeError("model went away")
+
+        batcher = MicroBatcher(explode, max_batch_size=4, max_wait_ms=5.0)
+        with pytest.raises(RuntimeError, match="model went away"):
+            batcher.submit(rows(1.0))
+        # The flusher survives a poisoned batch: next submit still works
+        # (and still fails, proving the loop is alive).
+        with pytest.raises(RuntimeError, match="model went away"):
+            batcher.submit(rows(2.0))
+        batcher.close()
+
+    def test_mixed_width_batch_fails_requests_not_the_flusher(self):
+        release = threading.Event()
+
+        def gated(stacked, items):
+            release.wait(5.0)
+            return identity_flush()(stacked, items)
+
+        batcher = MicroBatcher(gated, max_batch_size=2, max_wait_ms=10_000.0)
+        outcomes = {}
+
+        def worker(i, width):
+            try:
+                outcomes[i] = batcher.submit(
+                    np.zeros((1, width), dtype=np.float64)
+                )[0]
+            except Exception as exc:
+                outcomes[i] = exc
+
+        # Two requests with different feature widths (the hot-swap-to-a-
+        # different-model scenario) coalesce into one flush whose
+        # np.concatenate must fail the *requests*, not the flusher.
+        threads = [
+            threading.Thread(target=worker, args=(0, 5)),
+            threading.Thread(target=worker, args=(1, 7)),
+        ]
+        for t in threads:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert all(isinstance(outcomes[i], ValueError) for i in (0, 1))
+        # The flusher survived: a well-formed request still round-trips.
+        result, _ = batcher.submit(rows(3.0))
+        assert result.tolist() == [[3.0]]
+        batcher.close()
+
+    def test_submit_timeout(self):
+        def slow(stacked, items):
+            time.sleep(0.2)
+            return identity_flush()(stacked, items)
+
+        batcher = MicroBatcher(slow, max_batch_size=1, max_wait_ms=0.0)
+        with pytest.raises(SubmitTimeout):
+            batcher.submit(rows(1.0), timeout=0.01)
+        batcher.close()
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(identity_flush(), max_batch_size=4, max_wait_ms=1.0)
+        batcher.close()
+        with pytest.raises(BatcherClosed):
+            batcher.submit(rows(1.0))
+
+    def test_close_flushes_remaining_requests(self):
+        release = threading.Event()
+
+        def gated(stacked, items):
+            release.wait(5.0)
+            return identity_flush()(stacked, items)
+
+        batcher = MicroBatcher(gated, max_batch_size=2, max_wait_ms=10_000.0)
+        results = {}
+
+        def worker(i):
+            results[i] = batcher.submit(rows(float(i)))[0]
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)  # let the first flush (2 rows) start, 1 queued
+        release.set()
+        batcher.close(flush_remaining=True)
+        for t in threads:
+            t.join(timeout=5.0)
+        assert sorted(v.tolist()[0][0] for v in results.values()) == [0.0, 1.0, 2.0]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(identity_flush(), max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(identity_flush(), max_batch_size=1, max_wait_ms=-1.0)
+
+
+class TestObserver:
+    def test_on_flush_sees_request_and_row_counts(self):
+        seen = []
+        batcher = MicroBatcher(
+            identity_flush(),
+            max_batch_size=4,
+            max_wait_ms=5.0,
+            on_flush=lambda requests, total_rows: seen.append((requests, total_rows)),
+        )
+        batcher.submit(rows(1.0, 2.0))
+        batcher.close()
+        assert seen == [(1, 2)]
+
+    def test_observer_exception_does_not_poison_batch(self):
+        def bad_observer(requests, total_rows):
+            raise ValueError("observer bug")
+
+        batcher = MicroBatcher(
+            identity_flush(), max_batch_size=1, max_wait_ms=5.0, on_flush=bad_observer
+        )
+        result, _ = batcher.submit(rows(9.0))
+        assert result.tolist() == [[9.0]]
+        batcher.close()

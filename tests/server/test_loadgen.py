@@ -1,0 +1,72 @@
+"""Load-generator unit tests (transport wiring, failure fast-paths)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ServerConfig
+from repro.server import GatewayApp, ModelRegistry
+from repro.server.loadgen import (
+    HTTPTarget,
+    InprocTarget,
+    make_feature_pool,
+    merge_report,
+    run_load,
+)
+
+
+class TestRunLoad:
+    def test_inproc_load_reports_sane_numbers(self, model_root):
+        app = GatewayApp(
+            ModelRegistry(model_root),
+            ServerConfig(max_batch_size=8, max_wait_ms=1.0, score_block=8),
+        )
+        try:
+            pool = make_feature_pool(app.registry.active().service.feature_dim)
+            report = run_load(
+                InprocTarget(app), pool, duration_s=0.3, concurrency=4, k=3
+            )
+        finally:
+            app.close()
+        assert report.errors == 0
+        assert report.requests > 0
+        assert report.throughput_rps > 0
+        assert 0 < report.p50_ms <= report.p99_ms
+        assert report.mean_batch_rows >= 1.0
+
+    def test_unreachable_target_fails_fast_instead_of_hanging(self):
+        # Nothing listens on the discard port; every worker's connect
+        # fails, which must break the start barrier and return promptly
+        # (previously this dead-locked the caller forever).
+        report = run_load(
+            HTTPTarget("http://127.0.0.1:9"),
+            make_feature_pool(4),
+            duration_s=0.2,
+            concurrency=4,
+        )
+        assert report.requests == 0
+        assert report.errors >= 1
+        assert report.throughput_rps == 0.0
+
+    def test_validates_concurrency(self):
+        with pytest.raises(ValueError):
+            run_load(InprocTarget(None), make_feature_pool(4), concurrency=0)
+
+
+class TestHelpers:
+    def test_make_feature_pool_is_seeded(self):
+        assert np.array_equal(make_feature_pool(8), make_feature_pool(8))
+        assert make_feature_pool(8, pool_size=16).shape == (16, 8)
+
+    def test_merge_report_preserves_other_sections(self, tmp_path):
+        path = tmp_path / "bench.json"
+        merge_report(str(path), "a", {"x": 1})
+        merge_report(str(path), "b", {"y": 2})
+        merge_report(str(path), "a", {"x": 3})
+        import json
+
+        report = json.loads(path.read_text())
+        assert report == {"a": {"x": 3}, "b": {"y": 2}}
+
+    def test_http_target_rejects_non_http(self):
+        with pytest.raises(ValueError):
+            HTTPTarget("https://example.com")

@@ -1,0 +1,108 @@
+"""Unit tests for the gateway telemetry collectors."""
+
+import threading
+
+from repro.server import (
+    BatchSizeHistogram,
+    CounterSet,
+    GatewayMetrics,
+    LatencyReservoir,
+)
+
+
+class TestCounterSet:
+    def test_inc_and_value(self):
+        counters = CounterSet()
+        assert counters.value("x") == 0
+        counters.inc("x")
+        counters.inc("x", by=2)
+        assert counters.value("x") == 3
+
+    def test_labels_are_separate_series(self):
+        counters = CounterSet()
+        counters.inc("req", {"endpoint": "suggest"})
+        counters.inc("req", {"endpoint": "explain"})
+        counters.inc("req", {"endpoint": "suggest"})
+        assert counters.value("req", {"endpoint": "suggest"}) == 2
+        assert counters.value("req", {"endpoint": "explain"}) == 1
+        assert counters.value("req") == 0
+
+    def test_concurrent_increments_lose_nothing(self):
+        counters = CounterSet()
+
+        def spin():
+            for _ in range(2000):
+                counters.inc("n")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.value("n") == 16000
+
+
+class TestLatencyReservoir:
+    def test_exact_quantiles_when_under_capacity(self):
+        reservoir = LatencyReservoir(size=1000)
+        for ms in range(1, 101):  # 1..100 ms
+            reservoir.observe(ms / 1000)
+        assert abs(reservoir.quantile(0.5) - 0.051) < 0.002
+        assert reservoir.quantile(0.99) >= 0.099
+        assert reservoir.count == 100
+        assert abs(reservoir.total - sum(range(1, 101)) / 1000) < 1e-9
+
+    def test_reservoir_stays_bounded(self):
+        reservoir = LatencyReservoir(size=64)
+        for i in range(10000):
+            reservoir.observe(float(i))
+        count, total, sample = reservoir.snapshot()
+        assert count == 10000
+        assert len(sample) == 64
+        assert total == sum(range(10000))
+
+    def test_empty_reservoir_reports_zero(self):
+        assert LatencyReservoir(size=8).quantile(0.99) == 0.0
+
+
+class TestBatchSizeHistogram:
+    def test_buckets_and_mean(self):
+        hist = BatchSizeHistogram()
+        for size in (1, 1, 2, 8, 300):
+            hist.observe(size)
+        cumulative = dict(hist.cumulative())
+        assert cumulative["1"] == 2
+        assert cumulative["2"] == 3
+        assert cumulative["8"] == 4
+        assert cumulative["256"] == 4
+        assert cumulative["+Inf"] == 5
+        assert hist.count == 5
+        assert hist.mean == (1 + 1 + 2 + 8 + 300) / 5
+
+
+class TestRender:
+    def test_prometheus_text_contains_all_families(self):
+        metrics = GatewayMetrics(reservoir_size=128)
+        metrics.observe_request("suggest", 200, 0.004)
+        metrics.observe_request("suggest", 400, 0.001)
+        metrics.batch_sizes.observe(16)
+        text = metrics.render(
+            extra_gauges=[("repro_server_model_info", {"version": "v0001-abc"}, 1.0)]
+        )
+        assert (
+            'repro_server_requests_total{endpoint="suggest",status="200"} 1' in text
+        )
+        assert (
+            'repro_server_requests_total{endpoint="suggest",status="400"} 1' in text
+        )
+        assert 'quantile="0.99"' in text
+        assert 'repro_server_request_latency_seconds_count{endpoint="suggest"} 2' in text
+        assert 'repro_server_batch_size_bucket{le="16"} 1' in text
+        assert 'repro_server_batch_size_bucket{le="+Inf"} 1' in text
+        assert 'repro_server_model_info{version="v0001-abc"} 1.0' in text
+        assert text.endswith("\n")
+
+    def test_latency_reservoirs_created_per_endpoint(self):
+        metrics = GatewayMetrics()
+        assert metrics.latency("a") is metrics.latency("a")
+        assert metrics.latency("a") is not metrics.latency("b")

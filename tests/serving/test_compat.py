@@ -1,0 +1,104 @@
+"""Artifact schema-version compatibility (ISSUE 4 satellite).
+
+The artifact manifest carries ``format_version`` (the schema version):
+v1 was the PR-1 layout (no ``propagation_backend`` / ``score_chunk_rows``
+/ ``score_block`` config fields), v2 added the sparse-backend fields, v3
+added the serving ``score_block``.  Two guarantees are pinned here:
+
+* saving with the **current** schema and loading it back round-trips
+  ``predict_scores`` bitwise (the PR-1 invariant, re-asserted against
+  the current version number), and
+* loading a fixture in the **PR-1 (v1) layout** still works and is
+  bitwise-identical too — old artifacts on disk survive library
+  upgrades, with config defaults filling in the newer fields.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DSSDDI, DSSDDIConfig
+from repro.data import generate_chronic_cohort, split_patients, standardize_features
+from repro.serving import FORMAT_VERSION, load_system
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    cohort = generate_chronic_cohort(num_patients=120, seed=6)
+    x = standardize_features(cohort.features)
+    split = split_patients(120, seed=2)
+    config = DSSDDIConfig.fast()
+    config.ddi.epochs = 10
+    config.md.epochs = 30
+    system = DSSDDI(config)
+    system.fit(x[split.train], cohort.medications[split.train], cohort.ddi)
+    return system, x[split.test]
+
+
+#: Config fields that did not exist in the PR-1 (format v1) manifest,
+#: per section.  The v1 fixture below strips exactly these.
+V2_PLUS_FIELDS = {
+    "ddi": ("propagation_backend",),
+    "md": ("propagation_backend", "score_chunk_rows"),
+    "serving": ("score_block",),
+}
+
+
+def make_v1_fixture(system, path):
+    """Save with the current writer, then rewrite as the PR-1 layout."""
+    system.save(path)
+    manifest_path = path / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format_version"] = 1
+    for section, fields in V2_PLUS_FIELDS.items():
+        for name in fields:
+            manifest["config"][section].pop(name)
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+class TestCurrentSchema:
+    def test_manifest_records_current_schema_version(self, fitted, tmp_path):
+        system, _ = fitted
+        system.save(tmp_path / "model")
+        manifest = json.loads((tmp_path / "model" / "manifest.json").read_text())
+        assert manifest["format_version"] == FORMAT_VERSION == 3
+
+    def test_current_round_trip_is_bitwise(self, fitted, tmp_path):
+        system, x_test = fitted
+        system.save(tmp_path / "model")
+        loaded = DSSDDI.load(tmp_path / "model")
+        assert np.array_equal(
+            loaded.predict_scores(x_test), system.predict_scores(x_test)
+        )
+
+    def test_future_schema_is_rejected_cleanly(self, fitted, tmp_path):
+        system, _ = fitted
+        system.save(tmp_path / "model")
+        manifest_path = tmp_path / "model" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="unsupported artifact format"):
+            load_system(tmp_path / "model")
+
+
+class TestV1Backcompat:
+    def test_v1_fixture_loads_with_defaults(self, fitted, tmp_path):
+        system, _ = fitted
+        path = make_v1_fixture(system, tmp_path / "v1_model")
+        loaded = load_system(path)
+        # The stripped fields come back as their defaults.
+        assert loaded.config.md.propagation_backend == "auto"
+        assert loaded.config.md.score_chunk_rows == 262144
+        assert loaded.config.serving.score_block == 0
+
+    def test_v1_round_trip_is_bitwise(self, fitted, tmp_path):
+        system, x_test = fitted
+        path = make_v1_fixture(system, tmp_path / "v1_model")
+        loaded = load_system(path)
+        assert np.array_equal(
+            loaded.predict_scores(x_test), system.predict_scores(x_test)
+        )
+        assert loaded.suggest(x_test[:4], k=3) == system.suggest(x_test[:4], k=3)

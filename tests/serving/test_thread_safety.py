@@ -1,0 +1,107 @@
+"""Thread-safety of the serving hot path (ISSUE 4 satellite).
+
+The gateway hammers one ``SuggestionService`` from many worker threads;
+the LRU cache and the stats counters must not lose updates or corrupt
+their internal state under that load.
+"""
+
+import threading
+
+from repro.serving import LRUCache
+
+
+class TestLRUCacheConcurrency:
+    def test_concurrent_get_put_is_consistent(self):
+        cache = LRUCache(maxsize=32)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(2000):
+                    key = (tid, i % 50)
+                    value = cache.get(key)
+                    if value is None:
+                        cache.put(key, i)
+                    _ = len(cache)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Invariants survived: bounded size, coherent counters.
+        assert len(cache) <= 32
+        assert cache.hits + cache.misses == 8 * 2000
+
+    def test_concurrent_clear_does_not_break_invariants(self):
+        cache = LRUCache(maxsize=16)
+        stop = threading.Event()
+
+        def churn():
+            i = 0
+            while not stop.is_set():
+                cache.put(i % 64, i)
+                cache.get((i + 1) % 64)
+                i += 1
+
+        def clearer():
+            while not stop.is_set():
+                cache.clear()
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        threads.append(threading.Thread(target=clearer))
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 16
+
+
+class TestServiceStatsConcurrency:
+    def test_counters_lose_no_updates(self):
+        import numpy as np
+
+        from repro.core import DSSDDI, DSSDDIConfig
+        from repro.data import (
+            generate_chronic_cohort,
+            split_patients,
+            standardize_features,
+        )
+        from repro.serving import SuggestionService
+
+        cohort = generate_chronic_cohort(num_patients=80, seed=9)
+        x = standardize_features(cohort.features)
+        split = split_patients(80, seed=3)
+        config = DSSDDIConfig.fast()
+        config.ddi.epochs = 6
+        config.md.epochs = 15
+        system = DSSDDI(config)
+        system.fit(x[split.train], cohort.medications[split.train], cohort.ddi)
+        service = SuggestionService(system)
+        pool = x[split.test]
+
+        per_thread = 40
+        threads = 8
+
+        def worker(tid):
+            rng = np.random.default_rng(tid)
+            for _ in range(per_thread):
+                service.suggest(pool[int(rng.integers(0, len(pool)))][None], k=2)
+
+        workers = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stats = service.stats()
+        assert stats.requests == threads * per_thread
+        assert stats.patients_scored == threads * per_thread

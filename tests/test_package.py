@@ -19,12 +19,13 @@ SUBPACKAGES = [
     "repro.serving",
     "repro.experiments",
     "repro.pipeline",
+    "repro.server",
 ]
 
 
 class TestPackage:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     @pytest.mark.parametrize("name", SUBPACKAGES)
     def test_subpackage_imports(self, name):

@@ -27,6 +27,7 @@ from pathlib import Path
 FUNCTION_SURFACE = (
     "repro/core",
     "repro/serving",
+    "repro/server",
     "repro/pipeline",
     "repro/nn/sparse.py",
 )
