@@ -20,12 +20,14 @@ Package layout (see DESIGN.md for the full inventory):
 * ``repro.serving`` -- model persistence + the batched SuggestionService
 * ``repro.experiments`` -- regeneration harness for every table and figure
 * ``repro.pipeline`` -- cached, parallel experiment pipeline (``repro`` CLI)
+* ``repro.train``   -- unified training engine (Trainer, checkpoints, resume)
+* ``repro.server``  -- online gateway (micro-batching, hot-swap registry)
 """
 
 from .core import DSSDDI, DSSDDIConfig
 from .data import generate_chronic_cohort, generate_ddi, generate_mimic, split_patients
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .serving import SuggestionService  # noqa: E402  (needs __version__)
 

@@ -12,11 +12,16 @@ from typing import Dict, Optional, Type
 
 import numpy as np
 
+from ..train import TrainingLog
+
 
 class Recommender(ABC):
     """fit(X_obs, Y_obs) -> predict_scores(X_new) -> (n, num_drugs)."""
 
     name: str = "recommender"
+
+    #: Set by every baseline's ``fit`` (see :attr:`training_log`).
+    _training_log: Optional[TrainingLog] = None
 
     @abstractmethod
     def fit(self, features: np.ndarray, medication_use: np.ndarray) -> "Recommender":
@@ -25,6 +30,20 @@ class Recommender(ABC):
     @abstractmethod
     def predict_scores(self, features: np.ndarray) -> np.ndarray:
         """Score every drug for each (unobserved) patient."""
+
+    @property
+    def training_log(self) -> TrainingLog:
+        """Uniform convergence record of the last ``fit``.
+
+        Every baseline exposes the same :class:`repro.train.TrainingLog`
+        (epochs run, final loss, wall seconds, stopped-early flag), so
+        experiments and the pipeline report convergence consistently
+        instead of reaching into private ``_losses`` lists.  Baselines
+        with no iterative fit (e.g. UserSim) report a zero-epoch log.
+        """
+        if self._training_log is None:
+            raise RuntimeError("call fit() before training_log")
+        return self._training_log
 
     def _check_fit_inputs(
         self, features: np.ndarray, medication_use: np.ndarray

@@ -8,13 +8,12 @@ patients taking the drug.  Scores are inner products.
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from ..graph import BipartiteGraph
 from ..nn import Adam, Linear, Tensor, bce_with_logits, concat, gather_rows, matmul_fixed
 from ..gnn import mean_adjacency
+from ..train import PairBatch, PairNegativeSampler, TrainState, Trainer
 from .base import Recommender, register
 
 
@@ -70,31 +69,21 @@ class BiparGCN(Recommender):
             + self._patient_tower.parameters()
             + self._drug_tower.parameters()
         )
-        optimizer = Adam(params, lr=self.learning_rate)
-        positives = np.argwhere(y == 1)
-        zero_rows, zero_cols = np.nonzero(y == 0)
-        if len(positives) == 0:
-            raise ValueError("no positive links to train on")
-
         x_t = Tensor(x)
         d_t = Tensor(self._drug_onehot)
-        self._losses: List[float] = []
-        for _epoch in range(self.epochs):
-            optimizer.zero_grad()
+
+        def step(state: TrainState, batch: PairBatch) -> Tensor:
             h_p, h_d = self._encode(x_t, d_t)
-            neg_idx = rng.integers(0, len(zero_rows), size=len(positives))
-            batch_i = np.concatenate([positives[:, 0], zero_rows[neg_idx]])
-            batch_v = np.concatenate([positives[:, 1], zero_cols[neg_idx]])
-            labels = np.concatenate(
-                [np.ones(len(positives)), np.zeros(len(positives))]
-            )
             logits = (
-                gather_rows(h_p, batch_i) * gather_rows(h_d, batch_v)
+                gather_rows(h_p, batch.rows) * gather_rows(h_d, batch.cols)
             ).sum(axis=1)
-            loss = bce_with_logits(logits, labels)
-            loss.backward()
-            optimizer.step()
-            self._losses.append(loss.item())
+            return bce_with_logits(logits, batch.labels)
+
+        loader = PairNegativeSampler(np.argwhere(y == 1), *np.nonzero(y == 0))
+        state = TrainState(params, Adam(params, lr=self.learning_rate), rng)
+        log = Trainer(self.epochs).fit(step, state, loader)
+        self._training_log = log
+        self._losses = log.losses
         self._fitted = True
         return self
 

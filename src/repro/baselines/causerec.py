@@ -22,6 +22,7 @@ from typing import List
 import numpy as np
 
 from ..nn import Adam, Linear, Tensor, bce_loss, concat, softmax
+from ..train import TrainState, Trainer
 from .base import Recommender, register
 
 
@@ -81,13 +82,11 @@ class CauseRec(Recommender):
             params.extend(enc.parameters())
         params.extend(self._attention.parameters())
         params.extend(self._drug_table.parameters())
-        optimizer = Adam(params, lr=self.learning_rate)
 
         x_t = Tensor(x)
-        self._losses: List[float] = []
         num_mask = max(1, int(round(self.mask_fraction * self.num_blocks)))
-        for _epoch in range(self.epochs):
-            optimizer.zero_grad()
+
+        def step(state: TrainState, _batch) -> Tensor:
             rep, attn = self._encode(x_t, return_attention=True)
             drug_emb = self._drug_table(Tensor(self._drug_onehot))
             probs = (rep @ drug_emb.T).sigmoid()
@@ -109,10 +108,12 @@ class CauseRec(Recommender):
                 # Margin-style contrast on similarities.
                 contrast = (neg_sim - pos_sim + 1.0).relu().mean()
                 loss = loss + contrast * self.contrastive_weight
+            return loss
 
-            loss.backward()
-            optimizer.step()
-            self._losses.append(loss.item())
+        state = TrainState(params, Adam(params, lr=self.learning_rate), rng)
+        log = Trainer(self.epochs).fit(step, state)
+        self._training_log = log
+        self._losses = log.losses
         self._fitted = True
         return self
 

@@ -8,11 +8,13 @@ regression as the base classifier (Sec. V-A1).
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from ..ml import LogisticRegression
+from ..train import TrainingLog
 from .base import Recommender, register
 
 
@@ -43,6 +45,7 @@ class ECC(Recommender):
         x = np.asarray(features, dtype=np.float64)
         y = np.asarray(medication_use, dtype=np.float64)
         self._check_fit_inputs(x, y)
+        started = time.perf_counter()
         rng = np.random.default_rng(self.seed)
         num_labels = y.shape[1]
         self._chains = []
@@ -68,6 +71,12 @@ class ECC(Recommender):
             self._chains.append(chain)
             self._orders.append(order)
             self._constants.append(constants)
+        # The convergence story of "the ensemble" is the sum of its
+        # chained logistic fits.
+        self._training_log = TrainingLog.aggregate(
+            [m.training_log for chain in self._chains for m in chain if m],
+            wall_seconds=time.perf_counter() - started,
+        )
         return self
 
     def predict_scores(self, features: np.ndarray) -> np.ndarray:

@@ -8,13 +8,12 @@ features only) be scored at test time.
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from ..gnn import BilinearDecoder, GCMCEncoder, bipartite_propagation
 from ..graph import BipartiteGraph
 from ..nn import Adam, Tensor, bce_with_logits, concat, gather_rows
+from ..train import PairBatch, PairNegativeSampler, TrainState, Trainer
 from .base import Recommender, register
 
 
@@ -68,31 +67,22 @@ class GCMCRecommender(Recommender):
         ]
 
         params = self._encoder.parameters() + self._decoder.parameters()
-        optimizer = Adam(params, lr=self.learning_rate)
-        positives = np.argwhere(y == 1)
-        zero_rows, zero_cols = np.nonzero(y == 0)
-        if len(positives) == 0:
-            raise ValueError("no positive links to train on")
         x_t = Tensor(x)
         d_t = Tensor(self._drug_onehot)
-        self._losses: List[float] = []
-        for _epoch in range(self.epochs):
-            optimizer.zero_grad()
+
+        def step(state: TrainState, batch: PairBatch) -> Tensor:
             h_p, h_d = self._encoder(x_t, d_t, self._channels)
-            neg_idx = rng.integers(0, len(zero_rows), size=len(positives))
-            batch_i = np.concatenate([positives[:, 0], zero_rows[neg_idx]])
-            batch_v = np.concatenate([positives[:, 1], zero_cols[neg_idx]])
-            labels = np.concatenate(
-                [np.ones(len(positives)), np.zeros(len(positives))]
-            )
             pair_scores = (
-                (gather_rows(h_p, batch_i) @ self._decoder.interaction)
-                * gather_rows(h_d, batch_v)
+                (gather_rows(h_p, batch.rows) @ self._decoder.interaction)
+                * gather_rows(h_d, batch.cols)
             ).sum(axis=1)
-            loss = bce_with_logits(pair_scores, labels)
-            loss.backward()
-            optimizer.step()
-            self._losses.append(loss.item())
+            return bce_with_logits(pair_scores, batch.labels)
+
+        loader = PairNegativeSampler(np.argwhere(y == 1), *np.nonzero(y == 0))
+        state = TrainState(params, Adam(params, lr=self.learning_rate), rng)
+        log = Trainer(self.epochs).fit(step, state, loader)
+        self._training_log = log
+        self._losses = log.losses
         self._fitted = True
         return self
 

@@ -16,13 +16,14 @@ pairs.  Two fidelity notes for this reproduction:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..gnn import GRUEncoder
 from ..graph import SignedGraph
-from ..nn import Adam, Linear, MLP, Tensor, bce_loss
+from ..nn import Adam, MLP, Tensor, bce_loss
+from ..train import TrainState, Trainer
 from .base import Recommender, register
 
 
@@ -86,24 +87,28 @@ class SafeDrug(Recommender):
                     self._ddi_mask[v, u] = 1.0
 
         params = self._encoder.parameters() + self._head.parameters()
-        optimizer = Adam(params, lr=self.learning_rate)
         step_tensors = [Tensor(s) for s in steps]
-        self._losses: List[float] = []
-        for _epoch in range(self.epochs):
-            optimizer.zero_grad()
+        y_t = Tensor(y)
+        mask_t = Tensor(self._ddi_mask)
+        penalize = self.ddi_penalty > 0 and bool(self._ddi_mask.any())
+
+        def step(state: TrainState, _batch) -> Tensor:
             hidden = self._encoder(step_tensors)
             probs = self._head(hidden).sigmoid()
-            loss = bce_loss(probs, Tensor(y))
-            if self.ddi_penalty > 0 and self._ddi_mask.any():
+            loss = bce_loss(probs, y_t)
+            if penalize:
                 # Expected number of activated antagonistic pairs:
                 # sum_{u,v} D_uv p_u p_v, batch-averaged.
                 pair_activation = (
-                    (probs @ Tensor(self._ddi_mask)) * probs
+                    (probs @ mask_t) * probs
                 ).sum(axis=1).mean()
                 loss = loss + pair_activation * self.ddi_penalty
-            loss.backward()
-            optimizer.step()
-            self._losses.append(loss.item())
+            return loss
+
+        state = TrainState(params, Adam(params, lr=self.learning_rate), rng)
+        log = Trainer(self.epochs).fit(step, state)
+        self._training_log = log
+        self._losses = log.losses
         self._fitted = True
         return self
 

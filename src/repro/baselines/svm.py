@@ -6,11 +6,13 @@ binary SVMs trained on the patient features.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
 from ..ml import MultiLabelSVM
+from ..train import TrainingLog
 from .base import Recommender, register
 
 
@@ -30,8 +32,13 @@ class SVMRecommender(Recommender):
         x = np.asarray(features, dtype=np.float64)
         y = np.asarray(medication_use, dtype=np.int64)
         self._check_fit_inputs(x, y)
+        started = time.perf_counter()
         self._model = MultiLabelSVM(reg=self.reg, epochs=self.epochs, seed=self.seed)
         self._model.fit(x, y)
+        self._training_log = TrainingLog.aggregate(
+            [m.training_log for m in self._model.models if m is not None],
+            wall_seconds=time.perf_counter() - started,
+        )
         return self
 
     def predict_scores(self, features: np.ndarray) -> np.ndarray:

@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..train import TrainingLog
 from .base import Recommender, register
 
 
@@ -31,6 +32,9 @@ class UserSim(Recommender):
         self._check_fit_inputs(features, medication_use)
         self._features = features
         self._medications = medication_use
+        # Memorization, not iteration: a zero-epoch log keeps the
+        # uniform `training_log` surface intact for reporting.
+        self._training_log = TrainingLog()
         return self
 
     def predict_scores(self, features: np.ndarray) -> np.ndarray:

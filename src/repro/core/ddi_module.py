@@ -10,8 +10,8 @@ Backbones: GIN (Eq. 1), SGCN (Eq. 2-4), SiGAT, SNEA — selected by config.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from ..gnn import (
 )
 from ..graph import SignedGraph
 from ..nn import Adam, Tensor, gather_rows, mse_loss
+from ..train import Callback, TrainState, Trainer, TrainingLog, fit_or_resume
 from .config import DDIGCNConfig
 
 
@@ -35,6 +36,8 @@ class DDITrainingLog:
     """Loss trace of DDIGCN training."""
 
     losses: List[float]
+    #: The underlying engine log (epochs run, wall time, resume info).
+    train: TrainingLog = field(default_factory=TrainingLog)
 
     @property
     def final_loss(self) -> float:
@@ -60,8 +63,21 @@ class DDIModule:
         self._embeddings: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
-    def fit(self, graph: SignedGraph) -> DDITrainingLog:
-        """Train DDIGCN on ``graph`` and cache the final embeddings."""
+    def fit(
+        self,
+        graph: SignedGraph,
+        callbacks: Sequence[Callback] = (),
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+    ) -> DDITrainingLog:
+        """Train DDIGCN on ``graph`` and cache the final embeddings.
+
+        ``callbacks`` extend the :class:`repro.train.Trainer` loop (early
+        stopping, loss logging, ...).  With ``checkpoint_dir`` set the
+        run checkpoints every ``checkpoint_every`` epochs (every epoch
+        when left at 0) and resumes from an existing checkpoint instead
+        of restarting.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
 
@@ -78,24 +94,32 @@ class DDIModule:
         self._forward = forward
 
         src, dst, sign_ints = train_graph.edge_arrays()
-        signs = sign_ints.astype(np.float64)
+        signs = Tensor(sign_ints.astype(np.float64))
 
-        optimizer = Adam(encoder.parameters(), lr=cfg.learning_rate)
-        losses: List[float] = []
-        for _epoch in range(cfg.epochs):
-            optimizer.zero_grad()
+        def step(state: TrainState, _batch) -> Tensor:
             z = forward(features)
             # Eq. 5: edge score as inner product of endpoint embeddings.
             scores = (gather_rows(z, src) * gather_rows(z, dst)).sum(axis=1)
-            loss = mse_loss(scores, Tensor(signs))  # Eq. 6
-            loss.backward()
-            optimizer.step()
-            losses.append(loss.item())
+            return mse_loss(scores, signs)  # Eq. 6
+
+        state = TrainState(
+            encoder.parameters(),
+            Adam(encoder.parameters(), lr=cfg.learning_rate),
+            rng,
+        )
+        log = fit_or_resume(
+            Trainer(cfg.epochs),
+            step,
+            state,
+            callbacks=callbacks,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
 
         encoder.eval()
         self._embeddings = forward(features).numpy().copy()
         encoder.train()
-        return DDITrainingLog(losses=losses)
+        return DDITrainingLog(losses=log.losses, train=log)
 
     # ------------------------------------------------------------------
     def _build_encoder(self, graph: SignedGraph, rng: np.random.Generator):

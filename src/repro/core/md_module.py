@@ -24,8 +24,8 @@ every drug.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +50,15 @@ from ..nn import (
 )
 from ..nn import sparse as sparse_backend
 from ..nn.fused import can_fuse_pair_mlp, pair_interaction_logits
+from ..train import (
+    Callback,
+    PairBatch,
+    PairNegativeSampler,
+    TrainState,
+    Trainer,
+    TrainingLog,
+    fit_or_resume,
+)
 from .config import MDGCNConfig
 
 
@@ -60,6 +69,8 @@ class MDTrainingLog:
     factual_losses: List[float]
     counterfactual_losses: List[float]
     cf_match_rate: float
+    #: The underlying engine log (epochs run, wall time, resume info).
+    train: TrainingLog = field(default_factory=TrainingLog)
 
     @property
     def final_loss(self) -> float:
@@ -97,6 +108,10 @@ class MDModule:
         ddi_graph: SignedGraph,
         ddi_embeddings: Optional[np.ndarray],
         num_clusters: Optional[int] = None,
+        callbacks: Sequence[Callback] = (),
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        checkpoint_extra=None,
     ) -> MDTrainingLog:
         """Train MDGCN on the observed patients.
 
@@ -111,6 +126,15 @@ class MDModule:
                 (the "w/o DDI" ablation).
             num_clusters: K for the treatment clustering; defaults to the
                 config value or 10 (the paper's count of chronic diseases).
+            callbacks: extra :class:`repro.train.Callback` hooks for the
+                Trainer loop (early stopping, loss logging, ...).
+            checkpoint_dir: when set, checkpoint every
+                ``checkpoint_every`` epochs (every epoch when left at
+                0) and resume from an existing checkpoint instead of
+                restarting.
+            checkpoint_extra: optional ``writer(dir)`` invoked inside
+                each atomic checkpoint write (DSSDDI embeds a servable
+                artifact snapshot through this).
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -205,27 +229,16 @@ class MDModule:
 
         x_t = Tensor(x)
         z_t = Tensor(z)
-        factual_losses: List[float] = []
-        cf_losses: List[float] = []
-        for _epoch in range(cfg.epochs):
-            optimizer.zero_grad()
-            h_patients, h_drugs_final = self._encode(x_t, z_t)
 
-            # 1:1 negative sampling (Sec. IV-B3).
-            neg_idx = rng.integers(0, len(zeros_rows), size=len(positives))
-            pos_i, pos_v = positives[:, 0], positives[:, 1]
-            neg_i, neg_v = zeros_rows[neg_idx], zeros_cols[neg_idx]
-            batch_i = np.concatenate([pos_i, neg_i])
-            batch_v = np.concatenate([pos_v, neg_v])
-            labels = np.concatenate(
-                [np.ones(len(positives)), np.zeros(len(positives))]
-            )
+        def step(state: TrainState, batch: PairBatch) -> Tensor:
+            h_patients, h_drugs_final = self._encode(x_t, z_t)
+            batch_i, batch_v = batch.rows, batch.cols
 
             logits = self._decode(
                 h_patients, h_drugs_final, batch_i, batch_v,
                 self._treatment[batch_i, batch_v],
             )
-            loss_factual = bce_with_logits(logits, labels)
+            loss_factual = bce_with_logits(logits, batch.labels)
 
             if cfg.use_counterfactual and cfg.delta > 0:
                 cf_labels = outcome_cf[batch_i, batch_v].astype(np.float64)
@@ -235,20 +248,35 @@ class MDModule:
                 )
                 loss_cf = bce_with_logits(cf_logits, cf_labels)
                 loss = loss_factual + loss_cf * cfg.delta  # Eq. 18
-                cf_losses.append(loss_cf.item())
+                state.log("cf", loss_cf.item())
             else:
                 loss = loss_factual
-                cf_losses.append(0.0)
+                state.log("cf", 0.0)
+            state.log("factual", loss_factual.item())
+            return loss
 
-            loss.backward()
-            optimizer.step()
-            factual_losses.append(loss_factual.item())
-
+        # 1:1 negative sampling per epoch (Sec. IV-B3), full-batch.
+        loader = PairNegativeSampler(positives, zeros_rows, zeros_cols)
+        state = TrainState(params, optimizer, rng)
+        # All derived state exists from here on, so checkpoint snapshots
+        # (and the serving path) may export the model mid-training.
         self._fitted = True
+        log = fit_or_resume(
+            Trainer(cfg.epochs),
+            step,
+            state,
+            loader,
+            callbacks=callbacks,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            extra_writer=checkpoint_extra,
+        )
+
         return MDTrainingLog(
-            factual_losses=factual_losses,
-            counterfactual_losses=cf_losses,
+            factual_losses=log.history.get("factual", []),
+            counterfactual_losses=log.history.get("cf", []),
             cf_match_rate=cf_match_rate,
+            train=log,
         )
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ a fitted or loaded system in :class:`repro.serving.SuggestionService`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -40,6 +41,19 @@ class FitReport:
 
     ddi_log: Optional[DDITrainingLog]
     md_log: MDTrainingLog
+
+    def training_summary(self) -> Dict[str, Dict[str, object]]:
+        """Manifest-ready per-module convergence summary.
+
+        One entry per trained module (``"md"``, plus ``"ddi"`` when the
+        DDIGCN ran) with the engine-level facts — epochs run, final
+        loss, wall seconds, early-stop epoch, checkpoints written, and
+        the checkpoint epoch a resumed run continued from.
+        """
+        summary = {"md": self.md_log.train.to_dict()}
+        if self.ddi_log is not None:
+            summary["ddi"] = self.ddi_log.train.to_dict()
+        return summary
 
 
 class DSSDDI:
@@ -90,6 +104,8 @@ class DSSDDI:
         num_clusters: Optional[int] = None,
         kg_dim: int = 64,
         kg_epochs: int = 10,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
     ) -> FitReport:
         """Train the DDI and MD modules and prepare the MS module.
 
@@ -102,11 +118,22 @@ class DSSDDI:
             kg_dim / kg_epochs: TransE settings when the drug-embedding
                 mode is "kg" (the paper uses dim 400; smaller is faster and
                 does not change the qualitative Table II ordering).
+            checkpoint_dir: when set, each module checkpoints its
+                :class:`repro.train.TrainState` under ``<dir>/ddi`` and
+                ``<dir>/md`` every ``checkpoint_every`` epochs (every
+                epoch when left at 0), and a
+                re-run resumes from the newest checkpoint instead of
+                restarting (bitwise-identical result, see
+                ``tests/train/test_resume.py``).  MD checkpoints embed a
+                servable artifact snapshot, so
+                :func:`repro.server.publish_artifact` can publish the
+                best-so-far model straight from a checkpoint.
         """
         cfg = self.config
         n_drugs = ddi.graph.num_nodes
         self._ddi_data = ddi
         self._drug_names = drug_names(ddi.catalog)
+        checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
 
         # Table II ablation: the mode selects which embedding is *added* to
         # the final drug representation — DDIGCN output, one-hot, KG
@@ -116,7 +143,13 @@ class DSSDDI:
         ddi_embeddings: Optional[np.ndarray] = None
         self.ddi_module = DDIModule(cfg.ddi)
         if mode == "ddigcn":
-            ddi_log = self.ddi_module.fit(ddi.graph)
+            ddi_log = self.ddi_module.fit(
+                ddi.graph,
+                checkpoint_dir=(
+                    checkpoint_dir / "ddi" if checkpoint_dir else None
+                ),
+                checkpoint_every=checkpoint_every,
+            )
             ddi_embeddings = self.ddi_module.drug_embeddings()
         elif mode == "onehot":
             ddi_embeddings = np.eye(n_drugs)
@@ -147,10 +180,29 @@ class DSSDDI:
             ddi.graph,
             ddi_embeddings,
             num_clusters=num_clusters,
+            checkpoint_dir=(checkpoint_dir / "md" if checkpoint_dir else None),
+            checkpoint_every=checkpoint_every,
+            # Each MD checkpoint also embeds a servable snapshot of the
+            # whole system, publishable via repro.server.publish_artifact.
+            checkpoint_extra=(
+                self._write_servable_snapshot if checkpoint_dir else None
+            ),
         )
         self.ms_module = MSModule(ddi.graph, cfg.ms, drug_names=self._drug_names)
         self._fitted = True
         return FitReport(ddi_log=ddi_log, md_log=md_log)
+
+    def _write_servable_snapshot(self, directory) -> None:
+        """Embed a loadable artifact of the current weights (checkpoints).
+
+        Called inside the atomic checkpoint write with the in-flight
+        checkpoint directory; the snapshot lands in ``<ckpt>/artifact``
+        and is what lets the model registry serve the best-so-far model
+        of a still-running (or killed) fit.
+        """
+        from ..serving.artifact import save_artifact
+
+        save_artifact(self, Path(directory) / "artifact")
 
     # ------------------------------------------------------------------
     # Persistence (fit once, serve many — see repro.serving)

@@ -9,6 +9,7 @@ table-specific metric sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -267,9 +268,30 @@ def stage_chronic_data(ctx) -> ChronicExperimentData:
 
 @stage("chronic.fit.dssddi_sgcn", inputs=("chronic.data",), serializer="dssddi")
 def stage_fit_dssddi_sgcn(ctx, data: ChronicExperimentData) -> DSSDDI:
-    """Fit DSSDDI(SGCN) once; cached via the serving artifact format."""
+    """Fit DSSDDI(SGCN) once; cached via the serving artifact format.
+
+    With ``--checkpoint-every N`` the fit checkpoints both modules under
+    ``<cache>/checkpoints/<stage key>`` and an interrupted run resumes
+    from the newest checkpoint; convergence metadata (epochs, early
+    stop, resume epoch, checkpoint digest) lands in the run manifest.
+    """
+    from ..train import checkpoint_digest, latest_checkpoint
+
     system = DSSDDI(dssddi_config(ctx.scale, "sgcn"))
-    system.fit(data.x_train, data.y_train, data.cohort.ddi)
+    ckpt = ctx.checkpoint_dir()
+    report = system.fit(
+        data.x_train,
+        data.y_train,
+        data.cohort.ddi,
+        checkpoint_dir=ckpt,
+        checkpoint_every=ctx.config.checkpoint_every,
+    )
+    summary = report.training_summary()
+    if ckpt is not None:
+        newest = latest_checkpoint(Path(ckpt) / "md")
+        if newest is not None:
+            summary["md"]["checkpoint_digest"] = checkpoint_digest(newest)
+    ctx.record_training(summary)
     return system
 
 
@@ -280,6 +302,7 @@ def stage_fit_lightgcn(ctx, data: ChronicExperimentData) -> LightGCNRecommender:
         hidden_dim=max(16, ctx.scale.hidden_dim // 2), epochs=ctx.scale.gnn_epochs
     )
     model.fit(data.x_train, data.y_train)
+    ctx.record_training({"lightgcn": model.training_log.to_dict()})
     return model
 
 

@@ -1,7 +1,11 @@
 """Logistic regression (reference [26]) trained by full-batch gradient descent.
 
 Used as the base classifier of the ECC baseline and available standalone.
-Plain numpy: the gradient of the regularized log-loss is closed-form.
+Plain numpy: the gradient of the regularized log-loss is closed-form, so
+the model step applies its own update and the shared
+:class:`repro.train.Trainer` only drives the loop (with a
+:class:`repro.train.ConvergenceStop` reproducing the classic
+|Δloss| < tol stopping rule).
 """
 
 from __future__ import annotations
@@ -9,6 +13,8 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+
+from ..train import ConvergenceStop, TrainState, Trainer, TrainingLog
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
@@ -43,6 +49,7 @@ class LogisticRegression:
         self.tol = tol
         self.weights: Optional[np.ndarray] = None
         self.bias: float = 0.0
+        self.training_log: Optional[TrainingLog] = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
         x = np.asarray(x, dtype=np.float64)
@@ -52,18 +59,21 @@ class LogisticRegression:
         n, d = x.shape
         self.weights = np.zeros(d)
         self.bias = 0.0
-        prev_loss = np.inf
-        for _ in range(self.max_iter):
+
+        def step(state: TrainState, _batch) -> float:
             probs = _sigmoid(x @ self.weights + self.bias)
             error = probs - y
             grad_w = x.T @ error / n + self.l2 * self.weights
             grad_b = float(error.mean())
             self.weights -= self.lr * grad_w
             self.bias -= self.lr * grad_b
-            loss = self._loss(probs, y)
-            if abs(prev_loss - loss) < self.tol:
-                break
-            prev_loss = loss
+            # Historical loop semantics: pre-update probabilities, but the
+            # regularizer over the just-updated weights.
+            return self._loss(probs, y)
+
+        self.training_log = Trainer(self.max_iter).fit(
+            step, TrainState(params=[]), callbacks=[ConvergenceStop(self.tol)]
+        )
         return self
 
     def _loss(self, probs: np.ndarray, y: np.ndarray) -> float:

@@ -1,9 +1,12 @@
 """Linear support vector machine (references [27], [28]).
 
 Trained by sub-gradient descent on the L2-regularized hinge loss (Pegasos
-style with a fixed learning-rate schedule).  The SVM baseline of the paper
-ranks drugs for a patient by the decision value of 86 one-vs-rest binary
-SVMs — :class:`MultiLabelSVM` packages that.
+style with a fixed learning-rate schedule), driven by the shared
+:class:`repro.train.Trainer` with a seeded :class:`repro.train.MiniBatcher`
+(one permutation per epoch, contiguous slices — the classic Pegasos
+pattern).  The SVM baseline of the paper ranks drugs for a patient by the
+decision value of 86 one-vs-rest binary SVMs — :class:`MultiLabelSVM`
+packages that.
 """
 
 from __future__ import annotations
@@ -11,6 +14,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 import numpy as np
+
+from ..train import MiniBatcher, TrainState, Trainer, TrainingLog
 
 
 class LinearSVM:
@@ -34,6 +39,7 @@ class LinearSVM:
         self.seed = seed
         self.weights: Optional[np.ndarray] = None
         self.bias: float = 0.0
+        self.training_log: Optional[TrainingLog] = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVM":
         x = np.asarray(x, dtype=np.float64)
@@ -42,27 +48,34 @@ class LinearSVM:
             raise ValueError("labels must be binary {0, 1}")
         y_pm = 2.0 * y01 - 1.0
         n, d = x.shape
-        rng = np.random.default_rng(self.seed)
         self.weights = np.zeros(d)
         self.bias = 0.0
-        step = 0
-        for _epoch in range(self.epochs):
-            order = rng.permutation(n)
-            for start in range(0, n, self.batch_size):
-                step += 1
-                idx = order[start : start + self.batch_size]
-                lr = 1.0 / (self.reg * step)
-                margin = y_pm[idx] * (x[idx] @ self.weights + self.bias)
-                active = margin < 1.0
-                grad_w = self.reg * self.weights
-                grad_b = 0.0
-                if active.any():
-                    xa = x[idx][active]
-                    ya = y_pm[idx][active]
-                    grad_w = grad_w - (ya[:, None] * xa).mean(axis=0)
-                    grad_b = -float(ya.mean())
-                self.weights -= lr * grad_w
-                self.bias -= lr * grad_b
+
+        def step(state: TrainState, idx: np.ndarray) -> float:
+            # Pegasos schedule over the global step count (the Trainer
+            # increments state.step before each batch).
+            lr = 1.0 / (self.reg * state.step)
+            margin = y_pm[idx] * (x[idx] @ self.weights + self.bias)
+            active = margin < 1.0
+            grad_w = self.reg * self.weights
+            grad_b = 0.0
+            if active.any():
+                xa = x[idx][active]
+                ya = y_pm[idx][active]
+                grad_w = grad_w - (ya[:, None] * xa).mean(axis=0)
+                grad_b = -float(ya.mean())
+            # Batch objective before the update (monitoring only; the
+            # historical loop never logged it).
+            objective = 0.5 * self.reg * float(self.weights @ self.weights)
+            objective += float(np.maximum(0.0, 1.0 - margin).mean())
+            self.weights -= lr * grad_w
+            self.bias -= lr * grad_b
+            return objective
+
+        state = TrainState(params=[], rng=np.random.default_rng(self.seed))
+        self.training_log = Trainer(self.epochs).fit(
+            step, state, MiniBatcher(n, self.batch_size)
+        )
         return self
 
     def decision_function(self, x: np.ndarray) -> np.ndarray:

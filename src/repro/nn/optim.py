@@ -6,7 +6,7 @@ tests and the classic-ML baselines.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -27,6 +27,18 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Internal state as flat ``name -> ndarray`` (see ``repro.train``).
+
+        The base optimizer is stateless; subclasses with moment/velocity
+        buffers extend this so a :class:`repro.train.TrainState`
+        checkpoint restores the exact update trajectory.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_dict` (no-op for stateless optimizers)."""
 
 
 class SGD(Optimizer):
@@ -58,6 +70,23 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             param.data = param.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Momentum buffers (only the initialized ones are stored)."""
+        return {
+            f"velocity.{i}": v
+            for i, v in enumerate(self._velocity)
+            if v is not None
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore momentum buffers written by :meth:`state_dict`."""
+        self._velocity = [
+            np.array(state[f"velocity.{i}"])
+            if f"velocity.{i}" in state
+            else None
+            for i in range(len(self.params))
+        ]
 
 
 class Adam(Optimizer):
@@ -98,6 +127,27 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Step count plus the initialized first/second-moment buffers."""
+        state: Dict[str, np.ndarray] = {"t": np.int64(self._t)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            if m is not None:
+                state[f"m.{i}"] = m
+                state[f"v.{i}"] = v
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore the exact Adam trajectory written by :meth:`state_dict`."""
+        self._t = int(state["t"])
+        self._m = [
+            np.array(state[f"m.{i}"]) if f"m.{i}" in state else None
+            for i in range(len(self.params))
+        ]
+        self._v = [
+            np.array(state[f"v.{i}"]) if f"v.{i}" in state else None
+            for i in range(len(self.params))
+        ]
 
 
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:

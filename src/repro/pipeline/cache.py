@@ -297,15 +297,25 @@ class StageCache:
         result.sort(key=lambda e: -e.created_at)
         return result
 
+    @property
+    def checkpoints_dir(self) -> Path:
+        """Training-checkpoint root (one subdirectory per stage key).
+
+        Written by checkpointed training stages (``repro run ...
+        --checkpoint-every N``); cleared together with the stage outputs.
+        """
+        return self.root / "checkpoints"
+
     def clear(self) -> int:
-        """Delete every cached stage output; returns the count removed."""
-        if not self.stages_dir.is_dir():
-            return 0
+        """Delete every cached stage output (and training checkpoint);
+        returns the count of stage entries removed."""
         count = 0
-        for entry_dir in self.stages_dir.iterdir():
-            if entry_dir.is_dir():
-                shutil.rmtree(entry_dir, ignore_errors=True)
-                count += 1
+        if self.stages_dir.is_dir():
+            for entry_dir in self.stages_dir.iterdir():
+                if entry_dir.is_dir():
+                    shutil.rmtree(entry_dir, ignore_errors=True)
+                    count += 1
+        shutil.rmtree(self.checkpoints_dir, ignore_errors=True)
         return count
 
     def prune(self, keep_last: int) -> List[CacheEntry]:
@@ -314,8 +324,12 @@ class StageCache:
         "Per stage" because entries of the *same* stage are superseded
         versions (older scales/code revisions) while different stages
         are unrelated artifacts — pruning globally would let one noisy
-        stage evict every other stage's only entry.  Returns the removed
-        entries' metadata (newest first, like :meth:`entries`).
+        stage evict every other stage's only entry.  A removed entry's
+        training checkpoints (``checkpoints/<key>``, same content key)
+        go with it; checkpoints of keys with *no* cache entry are kept —
+        they belong to interrupted fits that have not completed yet and
+        are exactly what resume needs.  Returns the removed entries'
+        metadata (newest first, like :meth:`entries`).
         """
         if keep_last < 1:
             raise ValueError("keep_last must be >= 1")
@@ -327,5 +341,6 @@ class StageCache:
                 kept_per_stage[entry.stage] = kept + 1
                 continue
             shutil.rmtree(self._entry_dir(entry.key), ignore_errors=True)
+            shutil.rmtree(self.checkpoints_dir / entry.key, ignore_errors=True)
             removed.append(entry)
         return removed

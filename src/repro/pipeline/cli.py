@@ -6,6 +6,8 @@ installation as ``python -m repro.pipeline``::
     repro run table1 --scale small        # one experiment
     repro run all --jobs 4 --scale medium # every experiment, 4 workers
     repro run fig7 --force                # ignore cached stages
+    repro run chronic.fit.dssddi_sgcn --checkpoint-every 10
+                                          # checkpointed (resumable) fit
     repro publish --scale small           # fit -> serving artifact root
     repro cache ls                        # what is materialized
     repro cache prune --keep-last 3       # bound the cache on serving hosts
@@ -53,10 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run one experiment or 'all'")
+    run = sub.add_parser(
+        "run", help="run one experiment, one stage, or 'all'"
+    )
     run.add_argument(
         "experiment",
-        help="experiment name (see 'repro list') or 'all'",
+        help="experiment name (see 'repro list'), a stage name "
+        "(e.g. chronic.fit.dssddi_sgcn), or 'all'",
     )
     run.add_argument("--scale", default="small", choices=SCALES)
     run.add_argument(
@@ -74,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--runs-dir", default=None,
         help="manifest directory (default: <cache-dir>/runs)",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint training stages every N epochs; an interrupted "
+        "run resumes from its newest checkpoint (0 disables)",
     )
     _add_cache_dir_arg(run)
 
@@ -135,15 +145,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         force=args.force,
         jobs=args.jobs,
+        checkpoint_every=args.checkpoint_every,
     )
     known = all_experiment_names()
     names = known if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in known]
+    if unknown and args.experiment in _stage_names():
+        # Not an experiment but a registered stage: run it directly —
+        # the path checkpointed training fits take (`repro run
+        # chronic.fit.dssddi_sgcn --checkpoint-every 1`).
+        return _run_single_stage(args.experiment, config)
     if unknown:
         # Reject bad names up front with a clean usage error; failures
         # during execution propagate with their traceback instead.
         print(
-            f"error: unknown experiment {unknown[0]!r} (known: {known})",
+            f"error: unknown experiment {unknown[0]!r} "
+            f"(experiments: {known}; stages: {_stage_names()})",
             file=sys.stderr,
         )
         return 2
@@ -155,6 +172,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"[{name}] {len(manifest.stages)} stage(s), {hits} cached, "
             f"{manifest.total_seconds:.2f}s — manifest {manifest.run_id}.json"
+        )
+    return 0
+
+
+def _stage_names() -> List[str]:
+    from .registry import list_stages
+    from .runner import _ensure_registered
+
+    _ensure_registered()
+    return [spec.name for spec in list_stages()]
+
+
+def _run_single_stage(name: str, config: PipelineConfig) -> int:
+    """Materialize one stage by name, with a manifest (see run_stage)."""
+    run_stage(name, config, save_manifest=True)
+    print(f"stage {name} materialized (scale {config.scale})")
+    if config.checkpoint_every:
+        print(
+            f"  checkpointing every {config.checkpoint_every} epoch(s); "
+            "an interrupted run resumes from the newest checkpoint"
         )
     return 0
 

@@ -55,6 +55,12 @@ class StageRecord:
     cacheable: bool
     serializer: str
     digest: Optional[str] = None
+    #: Per-module convergence metadata reported by training stages via
+    #: ``StageContext.record_training`` — e.g. ``{"md": {"epochs_run":
+    #: 40, "final_loss": ..., "stopped_epoch": ..., "resumed_from": 12,
+    #: "checkpoints": 3, "checkpoint_digest": "..."}}``.  ``None`` for
+    #: non-training stages, cache hits, and pre-training-engine runs.
+    training: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation."""
@@ -62,7 +68,7 @@ class StageRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "StageRecord":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (tolerates pre-``training`` files)."""
         return cls(**data)
 
 

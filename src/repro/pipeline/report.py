@@ -33,6 +33,48 @@ def _fmt_seconds(seconds: float) -> str:
     return f"{seconds * 1000:.0f}ms"
 
 
+def _training_lines(record) -> List[str]:
+    """Markdown sub-table for one training stage's convergence record.
+
+    One row per trained module: epochs run (with the early-stop epoch
+    when a callback cut the run short), the final loss, the wall time,
+    the checkpoint epoch a resumed run continued from, and the number of
+    checkpoints written (with the newest checkpoint's digest prefix).
+    """
+    lines = [
+        f"Training — `{record.stage}`:",
+        "",
+        "| Module | Epochs | Final loss | Early stop | Resumed from "
+        "| Checkpoints | Wall |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for module, info in sorted(record.training.items()):
+        epochs = info.get("total_epochs", "?")
+        final_loss = info.get("final_loss")
+        loss_text = f"{final_loss:.6f}" if final_loss is not None else "-"
+        stopped = (
+            f"epoch {info['stopped_epoch']}"
+            if info.get("stopped_early") and info.get("stopped_epoch")
+            else "no"
+        )
+        resumed = (
+            f"epoch {info['resumed_from']}"
+            if info.get("resumed_from") is not None
+            else "-"
+        )
+        checkpoints = str(info.get("checkpoints", 0))
+        digest = info.get("checkpoint_digest")
+        if digest:
+            checkpoints += f" (`{digest[:12]}`)"
+        wall = _fmt_seconds(info.get("wall_seconds", 0.0))
+        lines.append(
+            f"| {module} | {epochs} | {loss_text} | {stopped} "
+            f"| {resumed} | {checkpoints} | {wall} |"
+        )
+    lines.append("")
+    return lines
+
+
 def render_report(
     runs_dir: PathLike, include_outputs: bool = True
 ) -> str:
@@ -77,6 +119,9 @@ def render_report(
                 f"| `{s.key[:12]}` | `{digest}` |"
             )
         lines.append("")
+        for s in m.stages:
+            if s.training:
+                lines += _training_lines(s)
         if include_outputs:
             output_path = Path(runs_dir) / f"{m.run_id}.txt"
             if output_path.is_file():

@@ -57,6 +57,12 @@ class PipelineConfig:
         model_root: artifact root used by publish stages (``repro
             publish``); ``None`` falls back to ``$REPRO_MODEL_ROOT`` or
             ``./.repro_models``.
+        checkpoint_every: epoch cadence at which training stages write
+            :class:`repro.train.TrainState` checkpoints under
+            ``<cache_dir>/checkpoints/<stage key>``; 0 (the default)
+            disables checkpointing.  A re-run of an interrupted training
+            stage resumes from the newest checkpoint instead of
+            refitting, and records ``resumed_from`` in its manifest.
         force_reuse: stage names exempt from ``force`` — set internally
             by :func:`run_many` so parallel workers reuse the shared
             stages the parent just force-re-executed instead of refitting
@@ -70,6 +76,7 @@ class PipelineConfig:
     force: bool = False
     jobs: int = 1
     model_root: Optional[str] = None
+    checkpoint_every: int = 0
     force_reuse: Tuple[str, ...] = ()
 
     def resolved_cache_dir(self) -> Path:
@@ -105,6 +112,10 @@ class StageContext:
 
         self.config = config
         self.scale = Scale.by_name(config.scale)
+        #: Cache key of the stage currently executing (set by the runner
+        #: right before each stage body runs; keys checkpoint dirs).
+        self.current_stage_key: Optional[str] = None
+        self._training: Optional[Dict[str, Any]] = None
 
     def param_value(self, name: str) -> Any:
         """Hashable value of a declared stage parameter.
@@ -116,6 +127,34 @@ class StageContext:
         if name == "scale":
             return asdict(self.scale)
         raise KeyError(f"unknown stage parameter {name!r}")
+
+    def checkpoint_dir(self) -> Optional[Path]:
+        """Checkpoint root for the executing training stage, or ``None``.
+
+        Only training stages that opt in use this; it is keyed by the
+        stage's content-hash cache key, so a re-run with identical
+        inputs finds its own checkpoints (and resumes) while any change
+        to scale, code version or inputs lands in a fresh directory.
+        Returns ``None`` unless ``config.checkpoint_every > 0``.
+        """
+        if self.config.checkpoint_every <= 0 or self.current_stage_key is None:
+            return None
+        return self.config.resolved_cache_dir() / "checkpoints" / self.current_stage_key
+
+    def record_training(self, summary: Dict[str, Any]) -> None:
+        """Attach per-module convergence metadata to this stage's record.
+
+        Training stages call this with e.g.
+        ``FitReport.training_summary()``; the runner copies it onto the
+        manifest's :class:`~repro.pipeline.manifest.StageRecord`, where
+        ``repro report`` surfaces it.
+        """
+        self._training = summary
+
+    def take_training(self) -> Optional[Dict[str, Any]]:
+        """Pop the recorded training metadata (runner use)."""
+        summary, self._training = self._training, None
+        return summary
 
 
 def _ensure_registered() -> None:
@@ -176,6 +215,7 @@ def _execute_stages(
         started = time.perf_counter()
         hit = not will_execute[spec.name]
         digest: Optional[str] = None
+        training: Optional[Dict[str, Any]] = None
         if spec.name not in needed:
             pass  # subsumed by a cached consumer: no execute, no load
         elif hit:
@@ -183,7 +223,12 @@ def _execute_stages(
             digest = entry.digest
             values[spec.name] = value
         else:
-            value = spec.fn(ctx, *(values[i] for i in spec.inputs))
+            ctx.current_stage_key = key
+            try:
+                value = spec.fn(ctx, *(values[i] for i in spec.inputs))
+            finally:
+                training = ctx.take_training()
+                ctx.current_stage_key = None
             if can_cache:
                 digest = cache.store(key, spec.name, spec.serializer, value).digest
             values[spec.name] = value
@@ -197,9 +242,30 @@ def _execute_stages(
                     cacheable=spec.cacheable,
                     serializer=spec.serializer,
                     digest=digest,
+                    training=training,
                 )
             )
     return values
+
+
+def _new_manifest(
+    name: str, title: str, ctx: StageContext, config: PipelineConfig
+) -> RunManifest:
+    """A fresh run manifest (shared by experiment and stage runs)."""
+    run_id = (
+        f"{name}-{time.strftime('%Y%m%d-%H%M%S')}"
+        f"-{os.getpid()}-{next(_RUN_COUNTER):03d}"
+    )
+    return RunManifest(
+        run_id=run_id,
+        experiment=name,
+        title=title,
+        scale=config.scale,
+        seed=ctx.scale.seed,
+        config={"scale": asdict(ctx.scale), "force": config.force,
+                "use_cache": config.use_cache,
+                "checkpoint_every": config.checkpoint_every},
+    )
 
 
 def run_experiment(
@@ -219,19 +285,8 @@ def run_experiment(
     spec = get_experiment(name)
     ctx = StageContext(config)
     cache = StageCache(config.resolved_cache_dir())
-    run_id = (
-        f"{name}-{time.strftime('%Y%m%d-%H%M%S')}"
-        f"-{os.getpid()}-{next(_RUN_COUNTER):03d}"
-    )
-    manifest = RunManifest(
-        run_id=run_id,
-        experiment=name,
-        title=spec.title,
-        scale=config.scale,
-        seed=ctx.scale.seed,
-        config={"scale": asdict(ctx.scale), "force": config.force,
-                "use_cache": config.use_cache},
-    )
+    manifest = _new_manifest(name, spec.title, ctx, config)
+    run_id = manifest.run_id
 
     values = _execute_stages(
         resolve(spec.stage), {spec.stage}, ctx, cache, config, manifest
@@ -247,20 +302,34 @@ def run_experiment(
     return result, manifest
 
 
-def run_stage(name: str, config: Optional[PipelineConfig] = None) -> Any:
+def run_stage(
+    name: str,
+    config: Optional[PipelineConfig] = None,
+    save_manifest: bool = False,
+) -> Any:
     """Materialize one stage (and its dependency closure) by name.
 
     The stage-level sibling of :func:`run_experiment` for targets that
     are not paper artifacts — e.g. ``chronic.publish``, which ships the
-    cached DSSDDI(SGCN) fit into the serving registry.  Cached inputs
-    are reused exactly as in an experiment run; no manifest is written.
-    Returns the stage's output value.
+    cached DSSDDI(SGCN) fit into the serving registry, or a bare
+    ``chronic.fit.*`` run driven by ``repro run`` with checkpointing.
+    Cached inputs are reused exactly as in an experiment run.  With
+    ``save_manifest`` a run manifest (including any per-stage training
+    metadata) is written to the runs directory, which is what the CI
+    resume smoke asserts ``resumed_from`` against.  Returns the stage's
+    output value.
     """
     _ensure_registered()
     config = config or PipelineConfig()
     ctx = StageContext(config)
     cache = StageCache(config.resolved_cache_dir())
-    values = _execute_stages(resolve(name), {name}, ctx, cache, config)
+    manifest: Optional[RunManifest] = None
+    if save_manifest:
+        manifest = _new_manifest(name, f"stage {name}", ctx, config)
+    values = _execute_stages(resolve(name), {name}, ctx, cache, config, manifest)
+    if manifest is not None:
+        manifest.finish()
+        manifest.save(config.resolved_runs_dir())
     return values[name]
 
 

@@ -153,12 +153,45 @@ def scan_versions(root: PathLike) -> List[ModelVersion]:
     )
 
 
+def _resolve_artifact_source(source: Path) -> Path:
+    """Map a publish source path to the artifact directory inside it.
+
+    Accepts, in order of specificity:
+
+    * an artifact directory itself (``manifest.json`` + ``arrays.npz``);
+    * a single :class:`repro.train.TrainState` checkpoint whose atomic
+      write embedded a servable snapshot (``<ckpt>/artifact``);
+    * a checkpoint *root* written by the :class:`repro.train.Checkpoint`
+      callback (``epoch-*/`` subdirectories) — resolves to the newest
+      checkpoint's snapshot, i.e. the best-so-far model of a running
+      (or killed) fit.
+    """
+    if is_artifact_dir(source):
+        return source
+    if is_artifact_dir(source / "artifact"):
+        return source / "artifact"
+    from ..train import latest_checkpoint
+
+    newest = latest_checkpoint(source)
+    if newest is not None and is_artifact_dir(newest / "artifact"):
+        return newest / "artifact"
+    return source
+
+
 def publish_artifact(
     system_or_path,
     root: PathLike,
     reuse_identical: bool = True,
 ) -> ModelVersion:
     """Publish a fitted system (or copy an artifact dir) into ``root``.
+
+    ``system_or_path`` may be a fitted :class:`repro.core.DSSDDI`, an
+    artifact directory, or a training checkpoint (a single
+    ``TrainState`` checkpoint directory, or the checkpoint root of a
+    still-running/killed fit — see :func:`_resolve_artifact_source`), in
+    which case the newest embedded servable snapshot is published: the
+    registry serves the best-so-far model without waiting for the fit to
+    finish.
 
     Serializes into a temp directory inside ``root`` and promotes it with
     one atomic ``os.replace`` under ``v<seq>-<digest8>``.  When
@@ -180,9 +213,11 @@ def publish_artifact(
     tmp = Path(tempfile.mkdtemp(prefix=".publish-", dir=root))
     try:
         if isinstance(system_or_path, (str, Path)):
-            source = Path(system_or_path)
+            source = _resolve_artifact_source(Path(system_or_path))
             if not is_artifact_dir(source):
-                raise FileNotFoundError(f"no artifact at {source}")
+                raise FileNotFoundError(
+                    f"no artifact (or servable checkpoint) at {system_or_path}"
+                )
             for name in (MANIFEST_NAME, ARRAYS_NAME):
                 shutil.copy2(source / name, tmp / name)
         else:

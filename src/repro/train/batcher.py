@@ -1,0 +1,151 @@
+"""Deterministic batch loaders for the Trainer.
+
+A *loader* turns one epoch into a sequence of batches, drawing any
+randomness from ``state.rng`` — the rng that lives inside the
+:class:`repro.train.TrainState` and therefore checkpoints and resumes
+bitwise.  Full-batch training is the special case of one batch per epoch,
+which is exactly what the repo's pre-Trainer epoch loops did; the loaders
+reproduce those loops' rng draw patterns verbatim, so models migrated
+onto the Trainer keep their historical seeds (pinned by
+``tests/train/test_seed_stability.py``).
+
+Loaders:
+
+* :class:`FullBatch` — one ``None`` batch per epoch (the step closes
+  over its fixed inputs).  No rng.
+* :class:`MiniBatcher` — seeded shuffling over ``n`` samples, yielding
+  index arrays of ``batch_size`` (one ``rng.permutation(n)`` per epoch,
+  the classic Pegasos/SGD pattern).
+* :class:`PairNegativeSampler` — the bipartite link-prediction pattern
+  shared by MDGCN, LightGCN, GCMC and Bipar-GCN: all positive pairs plus
+  an equal number of uniformly sampled zero pairs, labelled 1/0.  The
+  full-batch mode draws exactly one ``rng.integers(0, n_zeros,
+  size=n_pos)`` per epoch, matching the historical loops; minibatch mode
+  shuffles the positives and samples negatives per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .state import TrainState
+
+
+class Loader:
+    """Iterable-per-epoch batch source consumed by the Trainer."""
+
+    def batches(self, state: TrainState) -> Iterator:
+        """Yield this epoch's batches, drawing rng from ``state``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _rng(self, state: TrainState) -> np.random.Generator:
+        if state.rng is None:
+            raise ValueError(
+                f"{type(self).__name__} needs a TrainState with an rng"
+            )
+        return state.rng
+
+
+class FullBatch(Loader):
+    """One batch per epoch; the model step closes over its inputs."""
+
+    def batches(self, state: TrainState) -> Iterator:
+        yield None
+
+
+class MiniBatcher(Loader):
+    """Seeded shuffling over ``n`` samples in ``batch_size`` slices.
+
+    With ``shuffle=True`` (default) each epoch draws one
+    ``rng.permutation(n)`` and yields contiguous slices of it; with
+    ``shuffle=False`` it yields slices of ``arange(n)`` and needs no rng.
+    ``batch_size=None`` yields the whole (permuted) index set at once —
+    full batch as a special case.
+    """
+
+    def __init__(
+        self, n: int, batch_size: Optional[int] = None, shuffle: bool = True
+    ) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.n = n
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+
+    def batches(self, state: TrainState) -> Iterator[np.ndarray]:
+        order = (
+            self._rng(state).permutation(self.n)
+            if self.shuffle
+            else np.arange(self.n)
+        )
+        size = self.batch_size or self.n
+        for start in range(0, self.n, size):
+            yield order[start : start + size]
+
+
+@dataclass
+class PairBatch:
+    """One link-prediction batch: row/column index pairs with labels."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    labels: np.ndarray
+
+
+class PairNegativeSampler(Loader):
+    """1:1 negative sampling over a binary interaction matrix.
+
+    Args:
+        positives: ``(n_pos, 2)`` array of observed (row, col) pairs.
+        zero_rows / zero_cols: coordinates of the zero entries negatives
+            are drawn from (uniformly, with replacement).
+        batch_size: positives per batch; ``None`` keeps the historical
+            full-batch behaviour — every positive plus one sampled
+            negative each, a single batch per epoch.
+    """
+
+    def __init__(
+        self,
+        positives: np.ndarray,
+        zero_rows: np.ndarray,
+        zero_cols: np.ndarray,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        positives = np.asarray(positives)
+        if positives.ndim != 2 or positives.shape[1] != 2:
+            raise ValueError("positives must be an (n_pos, 2) index array")
+        if len(positives) == 0:
+            raise ValueError("no positive links to train on")
+        if len(zero_rows) != len(zero_cols):
+            raise ValueError("zero_rows and zero_cols disagree")
+        if len(zero_rows) == 0:
+            raise ValueError("no zero entries to sample negatives from")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.positives = positives
+        self.zero_rows = np.asarray(zero_rows)
+        self.zero_cols = np.asarray(zero_cols)
+        self.batch_size = batch_size
+
+    def _batch(self, rng: np.random.Generator, pos: np.ndarray) -> PairBatch:
+        neg_idx = rng.integers(0, len(self.zero_rows), size=len(pos))
+        rows = np.concatenate([pos[:, 0], self.zero_rows[neg_idx]])
+        cols = np.concatenate([pos[:, 1], self.zero_cols[neg_idx]])
+        labels = np.concatenate([np.ones(len(pos)), np.zeros(len(pos))])
+        return PairBatch(rows=rows, cols=cols, labels=labels)
+
+    def batches(self, state: TrainState) -> Iterator[PairBatch]:
+        rng = self._rng(state)
+        if self.batch_size is None:
+            # Historical full-batch path: one negative draw per epoch, in
+            # the exact order the pre-Trainer loops consumed the rng.
+            yield self._batch(rng, self.positives)
+            return
+        order = rng.permutation(len(self.positives))
+        for start in range(0, len(order), self.batch_size):
+            yield self._batch(rng, self.positives[order[start : start + self.batch_size]])

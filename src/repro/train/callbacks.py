@@ -1,0 +1,260 @@
+"""Trainer callbacks: checkpointing, early stopping, scheduling, logging.
+
+Callbacks observe one :class:`repro.train.Trainer` fit through four
+hooks (fit start, epoch start, epoch end, fit end) and communicate back
+through the :class:`repro.train.TrainState` — e.g.
+``state.request_stop(reason)`` ends training after the current epoch.
+
+Every callback is resume-aware: stateful ones (:class:`EarlyStopping`,
+:class:`ConvergenceStop`) rebuild their internal counters from the
+restored metric history at fit start, so a checkpointed run that is
+killed and resumed stops at exactly the same epoch — and with exactly
+the same losses — as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from .state import TrainState, checkpoint_path, list_checkpoints
+
+PathLike = Union[str, Path]
+
+
+class Callback:
+    """Base class: all hooks default to no-ops."""
+
+    def on_fit_start(self, state: TrainState) -> None:
+        """Called once before the first (or resumed-from) epoch."""
+
+    def on_epoch_start(self, state: TrainState) -> None:
+        """Called before each epoch's batches run."""
+
+    def on_epoch_end(self, state: TrainState) -> None:
+        """Called after each epoch's metrics land in ``state.history``."""
+
+    def on_fit_end(self, state: TrainState) -> None:
+        """Called once after the loop exits (completed or stopped)."""
+
+
+class EarlyStopping(Callback):
+    """Stop when the monitored metric stops improving.
+
+    Args:
+        patience: epochs without improvement tolerated before stopping.
+        min_delta: smallest decrease that counts as an improvement.
+        monitor: key into ``state.history`` (default ``"loss"``).
+
+    Attributes:
+        stopped_epoch: epoch the stop triggered at (None if it never did).
+        best: best monitored value seen.
+    """
+
+    def __init__(
+        self, patience: int = 10, min_delta: float = 0.0, monitor: str = "loss"
+    ) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be >= 0")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.monitor = monitor
+        self.best: Optional[float] = None
+        self.wait = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def on_fit_start(self, state: TrainState) -> None:
+        # Replay the restored history so a resumed run carries the exact
+        # best/wait counters of the uninterrupted one.
+        self.best, self.wait, self.stopped_epoch = None, 0, None
+        for epoch, value in enumerate(state.history.get(self.monitor, []), 1):
+            self._observe(state, epoch, value)
+
+    def on_epoch_end(self, state: TrainState) -> None:
+        values = state.history.get(self.monitor)
+        if values:
+            self._observe(state, state.epoch, values[-1])
+
+    def _observe(self, state: TrainState, epoch: int, value: float) -> None:
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.wait = 0
+            return
+        self.wait += 1
+        if self.wait >= self.patience and self.stopped_epoch is None:
+            self.stopped_epoch = epoch
+            state.request_stop(
+                f"early stop: no {self.monitor} improvement in "
+                f"{self.patience} epoch(s)"
+            )
+
+
+class ConvergenceStop(Callback):
+    """Stop when the metric's epoch-over-epoch change falls under ``tol``.
+
+    The classic-ML convergence criterion (|loss_t − loss_{t−1}| < tol)
+    that :class:`repro.ml.LogisticRegression` used in its hand-rolled
+    loop — kept as its own callback because it compares *consecutive*
+    values where :class:`EarlyStopping` compares against the best.
+    """
+
+    def __init__(self, tol: float, monitor: str = "loss") -> None:
+        if tol < 0:
+            raise ValueError("tol must be >= 0")
+        self.tol = tol
+        self.monitor = monitor
+        self.stopped_epoch: Optional[int] = None
+
+    def on_fit_start(self, state: TrainState) -> None:
+        self.stopped_epoch = None
+        values = state.history.get(self.monitor, [])
+        for epoch in range(2, len(values) + 1):
+            self._observe(state, epoch, values[epoch - 2], values[epoch - 1])
+
+    def on_epoch_end(self, state: TrainState) -> None:
+        values = state.history.get(self.monitor, [])
+        if len(values) >= 2:
+            self._observe(state, state.epoch, values[-2], values[-1])
+
+    def _observe(
+        self, state: TrainState, epoch: int, previous: float, current: float
+    ) -> None:
+        if abs(previous - current) < self.tol and self.stopped_epoch is None:
+            self.stopped_epoch = epoch
+            state.request_stop(
+                f"converged: |Δ{self.monitor}| < {self.tol:g}"
+            )
+
+
+class Checkpoint(Callback):
+    """Write the TrainState to disk every ``every_n`` epochs.
+
+    Checkpoints land in ``directory/epoch-<n>/`` atomically (see
+    :meth:`TrainState.save`); older ones beyond ``keep_last`` are deleted
+    *after* the new one is complete, so the newest complete checkpoint is
+    always valid even across ``kill -9``.  A final checkpoint is always
+    taken when the fit ends, so the directory holds the terminal state.
+
+    Args:
+        directory: checkpoint root for this run.
+        every_n: checkpoint cadence in epochs.
+        keep_last: complete checkpoints retained (>= 1).
+        extra_writer: called with the in-flight checkpoint directory
+            before its atomic promotion — e.g. :class:`repro.core.DSSDDI`
+            embeds a servable model artifact snapshot here, which is what
+            lets ``repro.server.publish_artifact`` publish the
+            best-so-far model straight from a checkpoint.
+
+    Attributes:
+        saved: checkpoints written by this instance during the last fit.
+        last_path: directory of the newest checkpoint written.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        every_n: int = 1,
+        keep_last: int = 1,
+        extra_writer: Optional[Callable[[Path], None]] = None,
+    ) -> None:
+        if every_n < 1:
+            raise ValueError("every_n must be >= 1")
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        self.directory = Path(directory)
+        self.every_n = every_n
+        self.keep_last = keep_last
+        self.extra_writer = extra_writer
+        self.saved = 0
+        self.last_path: Optional[Path] = None
+
+    def on_fit_start(self, state: TrainState) -> None:
+        self.saved = 0
+
+    def on_epoch_end(self, state: TrainState) -> None:
+        if state.epoch % self.every_n == 0:
+            self._write(state)
+
+    def on_fit_end(self, state: TrainState) -> None:
+        if self.last_path != checkpoint_path(self.directory, state.epoch):
+            self._write(state)
+
+    def _write(self, state: TrainState) -> None:
+        target = checkpoint_path(self.directory, state.epoch)
+        state._save(target, extra_writer=self.extra_writer)
+        self.saved += 1
+        self.last_path = target
+        for old in list_checkpoints(self.directory)[: -self.keep_last]:
+            shutil.rmtree(old, ignore_errors=True)
+
+
+class LRScheduler(Callback):
+    """Set the optimizer learning rate from the epoch number.
+
+    ``schedule`` maps the *upcoming* epoch (1-based) to a learning rate;
+    being a pure function of the epoch it needs no serialization — a
+    resumed run recomputes the same rates.
+    """
+
+    def __init__(self, schedule: Callable[[int], float]) -> None:
+        self.schedule = schedule
+
+    def on_epoch_start(self, state: TrainState) -> None:
+        if state.optimizer is None:
+            raise ValueError("LRScheduler needs a TrainState with an optimizer")
+        state.optimizer.lr = float(self.schedule(state.epoch + 1))
+
+
+class LossCurveLogger(Callback):
+    """Collect (and optionally print) per-epoch loss-curve lines."""
+
+    def __init__(
+        self,
+        every: int = 1,
+        printer: Optional[Callable[[str], None]] = None,
+        monitor: str = "loss",
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self.printer = printer
+        self.monitor = monitor
+        self.lines: List[str] = []
+
+    def on_epoch_end(self, state: TrainState) -> None:
+        if state.epoch % self.every != 0:
+            return
+        values = state.history.get(self.monitor)
+        if not values:
+            return
+        line = f"epoch {state.epoch}: {self.monitor}={values[-1]:.6f}"
+        self.lines.append(line)
+        if self.printer is not None:
+            self.printer(line)
+
+
+class Timer(Callback):
+    """Record per-epoch and total wall time."""
+
+    def __init__(self) -> None:
+        self.epoch_seconds: List[float] = []
+        self.total_seconds = 0.0
+        self._fit_started = 0.0
+        self._epoch_started = 0.0
+
+    def on_fit_start(self, state: TrainState) -> None:
+        self.epoch_seconds = []
+        self._fit_started = time.perf_counter()
+
+    def on_epoch_start(self, state: TrainState) -> None:
+        self._epoch_started = time.perf_counter()
+
+    def on_epoch_end(self, state: TrainState) -> None:
+        self.epoch_seconds.append(time.perf_counter() - self._epoch_started)
+
+    def on_fit_end(self, state: TrainState) -> None:
+        self.total_seconds = time.perf_counter() - self._fit_started

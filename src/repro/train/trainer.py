@@ -1,0 +1,259 @@
+"""The unified training engine: one loop for every model in the repo.
+
+Before this module the repo carried ~12 hand-rolled epoch loops (the two
+core DSSDDI modules, every trainable baseline, and the classic-ML
+models), each re-implementing optimizer stepping, negative sampling and
+loss logging, with no checkpointing or early stopping anywhere.  The
+:class:`Trainer` replaces all of them:
+
+* the *model step* is a closure ``step(state, batch) -> loss`` — it
+  builds the forward graph and returns either an autograd
+  :class:`~repro.nn.Tensor` loss (the Trainer then runs ``backward`` and
+  ``optimizer.step``) or a plain float (the step applied its own
+  closed-form update, the classic-ML case);
+* the *loader* (:mod:`repro.train.batcher`) turns an epoch into batches,
+  full-batch being the one-batch special case that keeps historical
+  seeds bitwise;
+* *callbacks* (:mod:`repro.train.callbacks`) add checkpointing, early
+  stopping, LR scheduling, loss-curve logging and timing without the
+  model knowing;
+* the :class:`~repro.train.TrainState` carries everything that mutates,
+  and :meth:`Trainer.resume` restarts a killed run from its newest
+  checkpoint with bitwise-identical final losses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..nn import Tensor
+from .batcher import FullBatch, Loader
+from .callbacks import Callback, Checkpoint
+from .state import TrainState, has_checkpoint, latest_checkpoint
+
+PathLike = Union[str, Path]
+
+#: ``step(state, batch) -> Tensor | float`` — the per-batch model closure.
+ModelStep = Callable[[TrainState, object], object]
+
+
+@dataclass
+class TrainingLog:
+    """Uniform record of one fit, returned by :meth:`Trainer.fit`.
+
+    This is also what every baseline's ``training_log`` property exposes,
+    so experiments and the pipeline report convergence consistently
+    instead of reaching into private ``_losses`` lists.
+
+    Attributes:
+        history: per-epoch metrics (``"loss"`` plus whatever the model
+            step logged via ``state.log``).
+        epochs_run: epochs executed *by this call* (0 when resuming from
+            a terminal checkpoint).
+        total_epochs: epochs accumulated over the run's whole life,
+            including epochs restored from a checkpoint.
+        wall_seconds: wall time of this call.
+        stopped_early: whether a callback requested the stop.
+        stop_reason: the requesting callback's message.
+        stopped_epoch: epoch the stop triggered at.
+        resumed_from: checkpoint epoch this call continued from.
+        checkpoints: checkpoints written during this call.
+    """
+
+    history: Dict[str, List[float]] = field(default_factory=dict)
+    epochs_run: int = 0
+    total_epochs: int = 0
+    wall_seconds: float = 0.0
+    stopped_early: bool = False
+    stop_reason: Optional[str] = None
+    stopped_epoch: Optional[int] = None
+    resumed_from: Optional[int] = None
+    checkpoints: int = 0
+
+    @property
+    def losses(self) -> List[float]:
+        """The canonical per-epoch loss curve."""
+        return self.history.get("loss", [])
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last epoch."""
+        return self.losses[-1]
+
+    @classmethod
+    def aggregate(
+        cls, logs: Sequence["TrainingLog"], wall_seconds: float
+    ) -> "TrainingLog":
+        """Combine sub-model logs into one record (ensemble baselines).
+
+        ECC and the one-vs-rest SVM fit many base models; the combined
+        log sums their epochs, flags early stopping if any stopped, and
+        uses the per-model final losses as the loss history.  Wall time
+        is the caller's overall measurement (sub-fits overlap setup).
+        """
+        logs = [log for log in logs if log is not None]
+        return cls(
+            history={"loss": [log.final_loss for log in logs if log.losses]},
+            epochs_run=sum(log.epochs_run for log in logs),
+            total_epochs=sum(log.total_epochs for log in logs),
+            wall_seconds=wall_seconds,
+            stopped_early=any(log.stopped_early for log in logs),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Manifest-ready summary (no per-epoch arrays)."""
+        return {
+            "epochs_run": self.epochs_run,
+            "total_epochs": self.total_epochs,
+            "final_loss": self.losses[-1] if self.losses else None,
+            "wall_seconds": self.wall_seconds,
+            "stopped_early": self.stopped_early,
+            "stopped_epoch": self.stopped_epoch,
+            "resumed_from": self.resumed_from,
+            "checkpoints": self.checkpoints,
+        }
+
+
+class Trainer:
+    """Run ``epochs`` of a model step over a loader, with callbacks.
+
+    Usage::
+
+        state = TrainState(model.parameters(), Adam(model.parameters()), rng)
+        log = Trainer(epochs=200).fit(step, state, loader,
+                                      callbacks=[EarlyStopping(patience=20)])
+
+    The Trainer owns only control flow; arithmetic lives in the step and
+    in the optimizer, so migrating a hand-rolled loop onto it is
+    loss-neutral by construction (and pinned by the seed-stability
+    tests).
+    """
+
+    def __init__(
+        self, epochs: int, callbacks: Sequence[Callback] = ()
+    ) -> None:
+        if epochs < 0:
+            raise ValueError("epochs must be >= 0")
+        self.epochs = epochs
+        self.callbacks = list(callbacks)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        model_step: ModelStep,
+        state: TrainState,
+        loader: Optional[Loader] = None,
+        callbacks: Sequence[Callback] = (),
+    ) -> TrainingLog:
+        """Train until ``epochs`` epochs have accumulated in ``state``.
+
+        A state restored from a checkpoint starts at its stored epoch —
+        the loop runs only the remainder, and the returned log's history
+        covers the whole run (restored prefix included).
+        """
+        loader = loader or FullBatch()
+        active = self.callbacks + list(callbacks)
+        state.stop_requested = False
+        state.stop_reason = None
+        started = time.perf_counter()
+        start_epoch = state.epoch
+        for cb in active:
+            cb.on_fit_start(state)
+
+        while state.epoch < self.epochs and not state.stop_requested:
+            for cb in active:
+                cb.on_epoch_start(state)
+            for batch in loader.batches(state):
+                if state.optimizer is not None:
+                    state.optimizer.zero_grad()
+                state.step += 1
+                loss = model_step(state, batch)
+                if isinstance(loss, Tensor):
+                    loss.backward()
+                    if state.optimizer is not None:
+                        state.optimizer.step()
+                    state.log("loss", loss.item())
+                else:
+                    state.log("loss", float(loss))
+            state.epoch += 1
+            state.roll_epoch_metrics()
+            for cb in active:
+                cb.on_epoch_end(state)
+
+        for cb in active:
+            cb.on_fit_end(state)
+
+        return TrainingLog(
+            history={name: list(values) for name, values in state.history.items()},
+            epochs_run=state.epoch - start_epoch,
+            total_epochs=state.epoch,
+            wall_seconds=time.perf_counter() - started,
+            stopped_early=state.stop_requested,
+            stop_reason=state.stop_reason,
+            stopped_epoch=state.epoch if state.stop_requested else None,
+            resumed_from=state.resumed_from,
+            checkpoints=sum(
+                cb.saved for cb in active if isinstance(cb, Checkpoint)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def resume(
+        self,
+        path: PathLike,
+        model_step: ModelStep,
+        state: TrainState,
+        loader: Optional[Loader] = None,
+        callbacks: Sequence[Callback] = (),
+    ) -> TrainingLog:
+        """Continue a run from the newest checkpoint under ``path``.
+
+        ``state`` must wrap a freshly rebuilt model (same config, same
+        seed).  If ``path`` holds no checkpoint the fit simply starts
+        from scratch — callers do not need to special-case the first
+        run.  Interrupt-and-resume produces bitwise-identical final
+        losses versus an uninterrupted :meth:`fit` because the
+        checkpoint restores parameters, optimizer moments, rng state and
+        history exactly (asserted in ``tests/train/test_resume.py``).
+        """
+        newest = latest_checkpoint(path)
+        if newest is not None:
+            state.restore(newest)
+        return self.fit(model_step, state, loader, callbacks)
+
+
+def fit_or_resume(
+    trainer: Trainer,
+    model_step: ModelStep,
+    state: TrainState,
+    loader: Optional[Loader] = None,
+    callbacks: Sequence[Callback] = (),
+    checkpoint_dir: Optional[PathLike] = None,
+    checkpoint_every: int = 0,
+    extra_writer: Optional[Callable[[Path], None]] = None,
+) -> TrainingLog:
+    """The one-call checkpoint policy shared by every module ``fit``.
+
+    ``checkpoint_dir`` is the switch: unset, this is plain
+    ``trainer.fit`` and ``checkpoint_every`` is ignored.  Set, a
+    :class:`Checkpoint` callback is appended — cadence
+    ``checkpoint_every`` epochs, defaulting to every epoch when the
+    caller leaves it at 0 — and, when the directory already holds a
+    checkpoint, training resumes from it instead of starting over,
+    which is how an interrupted ``repro run chronic.fit.*`` picks up
+    where it was killed.
+    """
+    active = list(callbacks)
+    if checkpoint_dir is None:
+        return trainer.fit(model_step, state, loader, active)
+    active.append(
+        Checkpoint(
+            checkpoint_dir,
+            every_n=max(1, checkpoint_every),
+            extra_writer=extra_writer,
+        )
+    )
+    return trainer.resume(checkpoint_dir, model_step, state, loader, active)

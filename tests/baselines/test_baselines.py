@@ -177,7 +177,8 @@ class TestCauseRec:
         x_train, y_train, *_ = cohort_data
         model = CauseRec(hidden_dim=16, epochs=10)
         model.fit(x_train[:60], y_train[:60])
-        assert len(model._losses) == 10
+        assert len(model.training_log.losses) == 10
+        assert model.training_log.epochs_run == 10
 
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
@@ -218,3 +219,43 @@ class TestLightGCNAnalysis:
         raw_sim = offdiagonal_mean(cosine_similarity_matrix(raw.numpy()))
         smooth_sim = offdiagonal_mean(cosine_similarity_matrix(smoothed.numpy()))
         assert smooth_sim > raw_sim + 0.2
+
+
+class TestTrainingLog:
+    """Satellite contract: every baseline reports convergence uniformly."""
+
+    def test_all_baselines_expose_uniform_training_log(self, cohort_data):
+        x_train, y_train, *_ , cohort = cohort_data
+        for model in quick_instances(cohort):
+            with pytest.raises(RuntimeError, match="fit"):
+                model.training_log
+            model.fit(x_train[:60], y_train[:60])
+            log = model.training_log
+            assert log.epochs_run >= 0
+            assert log.wall_seconds >= 0.0
+            assert isinstance(log.stopped_early, bool)
+            if log.losses:
+                assert np.isfinite(log.final_loss)
+
+    def test_iterative_baselines_report_epochs(self, cohort_data):
+        x_train, y_train, *_ , cohort = cohort_data
+        model = LightGCNRecommender(hidden_dim=16, epochs=12)
+        model.fit(x_train[:60], y_train[:60])
+        log = model.training_log
+        assert log.epochs_run == 12 and log.total_epochs == 12
+        assert len(log.losses) == 12
+        assert log.to_dict()["final_loss"] == log.final_loss
+
+    def test_lightgcn_predict_cache_invalidated_on_refit(self, cohort_data):
+        x_train, y_train, x_test, *_ , cohort = cohort_data
+        model = LightGCNRecommender(hidden_dim=16, epochs=5)
+        model.fit(x_train[:60], y_train[:60])
+        first = model.predict_scores(x_test[:5])
+        # Refit on different data must not serve the old cached reps.
+        model.fit(x_train[60:120], y_train[60:120])
+        second = model.predict_scores(x_test[:5])
+        assert not np.array_equal(first, second)
+        # And the cache itself is bit-transparent.
+        cached = model.predict_scores(x_test[:5])
+        model._rep_cache = None
+        np.testing.assert_array_equal(model.predict_scores(x_test[:5]), cached)

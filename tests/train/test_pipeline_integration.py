@@ -1,0 +1,197 @@
+"""Checkpointed training through the pipeline and the serving registry.
+
+End-to-end (in-process) version of the CI resume smoke: run the
+``chronic.fit.dssddi_sgcn`` stage with checkpointing, kill it after the
+first checkpoints, re-run, and assert the manifest records the resume —
+and that the cached artifact is byte-identical to an uninterrupted run's.
+Also covers publishing the best-so-far model straight from a checkpoint
+directory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.md_module import MDModule
+from repro.pipeline import PipelineConfig, load_manifests
+from repro.pipeline.cache import StageCache
+from repro.pipeline.cli import main as repro_main
+from repro.pipeline.runner import run_stage
+from repro.train import Callback
+
+FIT_STAGE = "chronic.fit.dssddi_sgcn"
+
+
+class _Interrupted(RuntimeError):
+    pass
+
+
+class _InterruptAfter(Callback):
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def on_epoch_end(self, state) -> None:
+        if state.epoch >= self.epoch:
+            raise _Interrupted(f"killed after epoch {state.epoch}")
+
+
+@pytest.fixture()
+def md_interrupt(monkeypatch):
+    """Make every MDModule.fit die after 2 epochs (simulated kill)."""
+    original = MDModule.fit
+
+    def interrupting(self, *args, **kwargs):
+        callbacks = list(kwargs.get("callbacks", ()))
+        callbacks.append(_InterruptAfter(2))
+        kwargs["callbacks"] = callbacks
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(MDModule, "fit", interrupting)
+    yield
+    monkeypatch.setattr(MDModule, "fit", original)
+
+
+def _config(tmp_path, name: str, checkpoint_every: int = 1) -> PipelineConfig:
+    return PipelineConfig(
+        scale="tiny",
+        cache_dir=str(tmp_path / name),
+        checkpoint_every=checkpoint_every,
+    )
+
+
+def _fit_digest(config: PipelineConfig) -> str:
+    entries = [
+        e for e in StageCache(config.resolved_cache_dir()).entries()
+        if e.stage == FIT_STAGE
+    ]
+    assert len(entries) == 1
+    return entries[0].digest
+
+
+class TestStageKillAndResume:
+    def test_interrupted_stage_resumes_and_matches_uninterrupted(
+        self, tmp_path, md_interrupt, monkeypatch
+    ):
+        config = _config(tmp_path, "interrupted")
+        with pytest.raises(_Interrupted):
+            run_stage(FIT_STAGE, config, save_manifest=True)
+        # The kill left checkpoints but no cached stage output...
+        cache = StageCache(config.resolved_cache_dir())
+        assert not any(e.stage == FIT_STAGE for e in cache.entries())
+        assert any(cache.checkpoints_dir.iterdir())
+
+        # ... so the re-run resumes from them instead of refitting.
+        monkeypatch.undo()  # lift the simulated kill
+        run_stage(FIT_STAGE, config, save_manifest=True)
+        manifests = load_manifests(config.resolved_runs_dir())
+        assert len(manifests) == 1  # the killed run saved no manifest
+        record = {s.stage: s for s in manifests[0].stages}[FIT_STAGE]
+        assert record.training is not None
+        assert record.training["md"]["resumed_from"] == 1
+        assert record.training["md"]["checkpoints"] >= 1
+        assert record.training["md"]["checkpoint_digest"]
+        assert record.training["ddi"]["epochs_run"] == 0  # terminal resume
+
+        # Bitwise equality with a never-interrupted run: the cached
+        # artifacts' content digests must match exactly.
+        clean = _config(tmp_path, "clean", checkpoint_every=0)
+        run_stage(FIT_STAGE, clean, save_manifest=True)
+        assert _fit_digest(config) == _fit_digest(clean)
+
+        clean_record = {
+            s.stage: s
+            for s in load_manifests(clean.resolved_runs_dir())[0].stages
+        }[FIT_STAGE]
+        assert clean_record.training["md"]["resumed_from"] is None
+        assert (
+            clean_record.training["md"]["final_loss"]
+            == record.training["md"]["final_loss"]
+        )
+
+        # `repro report` surfaces the convergence metadata per stage.
+        from repro.pipeline import render_report
+
+        text = render_report(config.resolved_runs_dir(), include_outputs=False)
+        assert f"Training — `{FIT_STAGE}`" in text
+        assert "| Resumed from " in text
+        assert "| epoch 1 |" in text  # the md module's resume epoch
+
+    def test_cache_clear_removes_checkpoints(self, tmp_path, md_interrupt):
+        config = _config(tmp_path, "cleared")
+        with pytest.raises(_Interrupted):
+            run_stage(FIT_STAGE, config)
+        cache = StageCache(config.resolved_cache_dir())
+        assert cache.checkpoints_dir.is_dir()
+        cache.clear()
+        assert not cache.checkpoints_dir.exists()
+
+    def test_prune_drops_superseded_checkpoints_keeps_inflight(self, tmp_path):
+        cache = StageCache(tmp_path / "cache")
+        cache.store("key-old", "stage.x", "json", {"v": 1})
+        import time as _time
+
+        _time.sleep(0.01)  # order the created_at timestamps
+        cache.store("key-new", "stage.x", "json", {"v": 2})
+        (cache.checkpoints_dir / "key-old").mkdir(parents=True)
+        (cache.checkpoints_dir / "key-new").mkdir(parents=True)
+        # A key with checkpoints but no cache entry is an interrupted
+        # fit awaiting resume — prune must not touch it.
+        (cache.checkpoints_dir / "key-inflight").mkdir(parents=True)
+
+        removed = cache.prune(keep_last=1)
+        assert [e.key for e in removed] == ["key-old"]
+        assert not (cache.checkpoints_dir / "key-old").exists()
+        assert (cache.checkpoints_dir / "key-new").is_dir()
+        assert (cache.checkpoints_dir / "key-inflight").is_dir()
+
+
+class TestPublishFromCheckpoint:
+    def test_best_so_far_model_served_from_killed_fit(
+        self, tmp_path, md_interrupt
+    ):
+        from repro.server.registry import ModelRegistry, publish_artifact
+
+        config = _config(tmp_path, "publish")
+        with pytest.raises(_Interrupted):
+            run_stage(FIT_STAGE, config)
+
+        cache = StageCache(config.resolved_cache_dir())
+        (stage_dir,) = list(cache.checkpoints_dir.iterdir())
+        version = publish_artifact(stage_dir / "md", tmp_path / "models")
+        assert version.name.startswith("v0001-")
+
+        registry = ModelRegistry(tmp_path / "models")
+        registry.reload()
+        service = registry.active().service
+        scores = service.predict_scores(np.zeros((1, service.feature_dim)))
+        assert scores.shape == (1, service.num_drugs)
+
+    def test_publish_rejects_checkpoint_free_directory(self, tmp_path):
+        from repro.server.registry import publish_artifact
+
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError, match="servable checkpoint"):
+            publish_artifact(empty, tmp_path / "models")
+
+
+class TestStageCLI:
+    def test_run_accepts_stage_names(self, tmp_path, capsys):
+        code = repro_main(
+            [
+                "run", "chronic.data",
+                "--scale", "tiny",
+                "--cache-dir", str(tmp_path / "cli-cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage chronic.data materialized" in out
+
+    def test_run_rejects_unknown_names(self, tmp_path, capsys):
+        code = repro_main(
+            ["run", "no.such.stage", "--cache-dir", str(tmp_path / "x")]
+        )
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err

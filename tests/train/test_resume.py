@@ -1,0 +1,221 @@
+"""Kill-and-resume must be bitwise-identical to an uninterrupted run.
+
+These tests simulate a hard interruption (an exception thrown mid-fit,
+after a checkpoint landed) and assert that resuming from the newest
+checkpoint reproduces the uninterrupted run's final losses — and final
+weights / prediction scores — *bitwise*.  This is the property that lets
+``repro run chronic.fit.*`` be killed at any point and re-run without
+recomputing or drifting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DDIGCNConfig, DSSDDI, DSSDDIConfig, MDGCNConfig
+from repro.core.ddi_module import DDIModule
+from repro.core.md_module import MDModule
+from repro.data import generate_chronic_cohort, standardize_features
+from repro.train import Callback, checkpoint_info, has_checkpoint
+
+
+class _Interrupted(RuntimeError):
+    pass
+
+
+class InterruptAfter(Callback):
+    """Raise (simulating a kill) once ``epoch`` epochs have completed."""
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def on_epoch_end(self, state) -> None:
+        if state.epoch >= self.epoch:
+            raise _Interrupted(f"killed after epoch {state.epoch}")
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    cohort = generate_chronic_cohort(num_patients=60, seed=9)
+    return cohort, standardize_features(cohort.features), cohort.medications
+
+
+def _md_config() -> MDGCNConfig:
+    return MDGCNConfig(hidden_dim=8, epochs=8)
+
+
+class TestMDModuleResume:
+    def test_kill_and_resume_bitwise(self, tiny, tmp_path):
+        cohort, x, y = tiny
+        n = y.shape[1]
+        ckpt = tmp_path / "md"
+
+        uninterrupted = MDModule(_md_config())
+        clean_log = uninterrupted.fit(
+            x, y, np.eye(n), cohort.ddi.graph, None, num_clusters=4
+        )
+
+        interrupted = MDModule(_md_config())
+        with pytest.raises(_Interrupted):
+            interrupted.fit(
+                x, y, np.eye(n), cohort.ddi.graph, None, num_clusters=4,
+                callbacks=[InterruptAfter(3)],
+                checkpoint_dir=ckpt, checkpoint_every=1,
+            )
+        assert has_checkpoint(ckpt)
+        # The Checkpoint callback runs after the interrupting callback,
+        # so the newest complete checkpoint is the epoch *before* the kill.
+        assert checkpoint_info(ckpt)["epoch"] == 2
+
+        resumed = MDModule(_md_config())
+        resumed_log = resumed.fit(
+            x, y, np.eye(n), cohort.ddi.graph, None, num_clusters=4,
+            checkpoint_dir=ckpt, checkpoint_every=1,
+        )
+
+        assert resumed_log.train.resumed_from == 2
+        assert resumed_log.train.epochs_run == 6
+        assert resumed_log.train.total_epochs == 8
+        # Whole loss curves — restored prefix plus resumed tail — match
+        # the uninterrupted run bitwise.
+        assert resumed_log.factual_losses == clean_log.factual_losses
+        assert resumed_log.counterfactual_losses == clean_log.counterfactual_losses
+        np.testing.assert_array_equal(
+            resumed.predict_scores(x[:7]), uninterrupted.predict_scores(x[:7])
+        )
+
+    def test_resume_from_terminal_checkpoint_runs_zero_epochs(self, tiny, tmp_path):
+        cohort, x, y = tiny
+        n = y.shape[1]
+        ckpt = tmp_path / "md-done"
+
+        first = MDModule(_md_config())
+        first_log = first.fit(
+            x, y, np.eye(n), cohort.ddi.graph, None, num_clusters=4,
+            checkpoint_dir=ckpt, checkpoint_every=4,
+        )
+        second = MDModule(_md_config())
+        second_log = second.fit(
+            x, y, np.eye(n), cohort.ddi.graph, None, num_clusters=4,
+            checkpoint_dir=ckpt, checkpoint_every=4,
+        )
+        assert second_log.train.epochs_run == 0
+        assert second_log.train.resumed_from == 8
+        assert second_log.factual_losses == first_log.factual_losses
+        np.testing.assert_array_equal(
+            second.predict_scores(x[:5]), first.predict_scores(x[:5])
+        )
+
+
+class TestDDIModuleResume:
+    def test_kill_and_resume_bitwise(self, tiny, tmp_path):
+        cohort, _, _ = tiny
+        config = DDIGCNConfig(backbone="sgcn", hidden_dim=8, epochs=8)
+        ckpt = tmp_path / "ddi"
+
+        clean = DDIModule(config)
+        clean_log = clean.fit(cohort.ddi.graph)
+
+        broken = DDIModule(config)
+        with pytest.raises(_Interrupted):
+            broken.fit(
+                cohort.ddi.graph,
+                callbacks=[InterruptAfter(4)],
+                checkpoint_dir=ckpt, checkpoint_every=1,
+            )
+
+        resumed = DDIModule(config)
+        resumed_log = resumed.fit(
+            cohort.ddi.graph, checkpoint_dir=ckpt, checkpoint_every=1
+        )
+        assert resumed_log.train.resumed_from == 3
+        assert resumed_log.losses == clean_log.losses
+        np.testing.assert_array_equal(
+            resumed.drug_embeddings(), clean.drug_embeddings()
+        )
+
+
+class TestSystemResume:
+    def _config(self) -> DSSDDIConfig:
+        return DSSDDIConfig(
+            ddi=DDIGCNConfig(backbone="sgcn", hidden_dim=8, epochs=5),
+            md=MDGCNConfig(hidden_dim=8, epochs=6),
+        )
+
+    def test_system_fit_checkpoints_both_modules(self, tiny, tmp_path):
+        cohort, x, y = tiny
+        ckpt = tmp_path / "system"
+        system = DSSDDI(self._config())
+        report = system.fit(
+            x, y, cohort.ddi, checkpoint_dir=ckpt, checkpoint_every=2
+        )
+        assert has_checkpoint(ckpt / "ddi")
+        assert has_checkpoint(ckpt / "md")
+        summary = report.training_summary()
+        assert summary["md"]["total_epochs"] == 6
+        assert summary["ddi"]["total_epochs"] == 5
+        assert summary["md"]["checkpoints"] >= 3
+
+    def test_md_checkpoint_embeds_servable_artifact(self, tiny, tmp_path):
+        from repro.serving.artifact import load_system
+        from repro.train import latest_checkpoint
+
+        cohort, x, y = tiny
+        ckpt = tmp_path / "system"
+        system = DSSDDI(self._config())
+        system.fit(x, y, cohort.ddi, checkpoint_dir=ckpt, checkpoint_every=2)
+
+        newest = latest_checkpoint(ckpt / "md")
+        assert (newest / "artifact" / "manifest.json").is_file()
+        snapshot = load_system(newest / "artifact")
+        # The terminal checkpoint's snapshot is the fitted model itself.
+        np.testing.assert_array_equal(
+            snapshot.predict_scores(x[:5]), system.predict_scores(x[:5])
+        )
+
+    def test_system_kill_and_resume_bitwise_scores(self, tiny, tmp_path):
+        cohort, x, y = tiny
+        ckpt = tmp_path / "system"
+
+        clean = DSSDDI(self._config())
+        clean_report = clean.fit(x, y, cohort.ddi)
+
+        broken = DSSDDI(self._config())
+        with pytest.raises(_Interrupted):
+            # The MD fit is the second phase; interrupting at epoch 2 of
+            # 6 leaves a complete DDI run plus a partial MD run.
+            _fit_with_md_interrupt(broken, x, y, cohort.ddi, ckpt)
+
+        resumed = DSSDDI(self._config())
+        resumed_report = resumed.fit(
+            x, y, cohort.ddi, checkpoint_dir=ckpt, checkpoint_every=1
+        )
+        # The DDI phase resumes from its terminal checkpoint (0 epochs),
+        # the MD phase from its newest mid-run checkpoint.
+        assert resumed_report.training_summary()["ddi"]["epochs_run"] == 0
+        assert resumed_report.training_summary()["md"]["resumed_from"] == 1
+        assert (
+            resumed_report.md_log.factual_losses
+            == clean_report.md_log.factual_losses
+        )
+        np.testing.assert_array_equal(
+            resumed.predict_scores(x[:9]), clean.predict_scores(x[:9])
+        )
+
+
+def _fit_with_md_interrupt(system, x, y, ddi, ckpt):
+    """Run a checkpointed system fit whose MD phase dies after epoch 2."""
+    original = MDModule.fit
+
+    def interrupting(self, *args, **kwargs):
+        callbacks = list(kwargs.get("callbacks", ()))
+        callbacks.append(InterruptAfter(2))
+        kwargs["callbacks"] = callbacks
+        return original(self, *args, **kwargs)
+
+    MDModule.fit = interrupting
+    try:
+        system.fit(x, y, ddi, checkpoint_dir=ckpt, checkpoint_every=1)
+    finally:
+        MDModule.fit = original

@@ -1,0 +1,179 @@
+"""Seed-stability regression: the Trainer migration must be loss-neutral.
+
+Every model that moved from a hand-rolled epoch loop onto
+:class:`repro.train.Trainer` is re-fitted here at tiny scale, and its
+first/last training losses (or, for the classic-ML models that never
+logged losses, summary statistics of the fitted weights) are compared
+against the values recorded **before** the refactor in
+``fixtures/seed_losses.json``.
+
+A change in rng draw order, sampling order, or update arithmetic shifts
+these numbers by many orders of magnitude more than the 1e-9 relative
+tolerance used below (the tolerance only absorbs BLAS reduction-order
+differences across machines — within one machine the match is bitwise).
+
+Regenerate the fixture (only legitimate after an *intentional* training
+semantics change) with::
+
+    PYTHONPATH=src python tests/train/test_seed_stability.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BiparGCN,
+    CauseRec,
+    ECC,
+    GCMCRecommender,
+    LightGCNRecommender,
+    SafeDrug,
+)
+from repro.core import DDIGCNConfig, MDGCNConfig
+from repro.core.ddi_module import DDIModule
+from repro.core.md_module import MDModule
+from repro.data import generate_chronic_cohort, standardize_features
+from repro.ml import LinearSVM, LogisticRegression
+
+FIXTURE = Path(__file__).parent / "fixtures" / "seed_losses.json"
+
+#: Relative tolerance for fixture comparison; see module docstring.
+RTOL = 1e-9
+
+
+def _tiny_cohort():
+    cohort = generate_chronic_cohort(num_patients=80, seed=5)
+    x = standardize_features(cohort.features)
+    y = cohort.medications
+    return cohort, x, y
+
+
+def _first_last(losses) -> dict:
+    return {"first_loss": float(losses[0]), "last_loss": float(losses[-1])}
+
+
+def _fit_ddigcn_sgcn() -> dict:
+    cohort, _, _ = _tiny_cohort()
+    module = DDIModule(DDIGCNConfig(backbone="sgcn", hidden_dim=8, epochs=6))
+    log = module.fit(cohort.ddi.graph)
+    return _first_last(log.losses)
+
+
+def _fit_ddigcn_gin() -> dict:
+    cohort, _, _ = _tiny_cohort()
+    module = DDIModule(DDIGCNConfig(backbone="gin", hidden_dim=8, epochs=6))
+    log = module.fit(cohort.ddi.graph)
+    return _first_last(log.losses)
+
+
+def _fit_mdgcn() -> dict:
+    cohort, x, y = _tiny_cohort()
+    n = y.shape[1]
+    module = MDModule(MDGCNConfig(hidden_dim=8, epochs=6))
+    log = module.fit(x, y, np.eye(n), cohort.ddi.graph, None, num_clusters=4)
+    out = _first_last(log.factual_losses)
+    out["last_cf_loss"] = float(log.counterfactual_losses[-1])
+    return out
+
+
+def _baseline_losses(model) -> dict:
+    _, x, y = _tiny_cohort()
+    model.fit(x, y)
+    return _first_last(model._losses)
+
+
+def _fit_lightgcn() -> dict:
+    return _baseline_losses(LightGCNRecommender(hidden_dim=8, epochs=6))
+
+
+def _fit_gcmc() -> dict:
+    return _baseline_losses(GCMCRecommender(hidden_dim=8, out_dim=8, epochs=6))
+
+
+def _fit_bipargcn() -> dict:
+    return _baseline_losses(BiparGCN(hidden_dim=8, epochs=6))
+
+
+def _fit_safedrug() -> dict:
+    cohort, x, y = _tiny_cohort()
+    model = SafeDrug(hidden_dim=8, epochs=6, ddi_graph=cohort.ddi.graph)
+    model.fit(x, y)
+    return _first_last(model._losses)
+
+
+def _fit_causerec() -> dict:
+    return _baseline_losses(CauseRec(hidden_dim=8, epochs=6))
+
+
+def _fit_ecc() -> dict:
+    _, x, y = _tiny_cohort()
+    model = ECC(num_chains=2, max_iter=8).fit(x, y)
+    scores = model.predict_scores(x[:10])
+    return {"score_00": float(scores[0, 0]), "score_sum": float(scores.sum())}
+
+
+def _fit_logistic() -> dict:
+    _, x, y = _tiny_cohort()
+    model = LogisticRegression(max_iter=25).fit(x, y[:, 0])
+    return {
+        "weight_norm_sq": float(model.weights @ model.weights),
+        "bias": float(model.bias),
+    }
+
+
+def _fit_linear_svm() -> dict:
+    _, x, y = _tiny_cohort()
+    model = LinearSVM(epochs=5, batch_size=16).fit(x, y[:, 0])
+    return {
+        "weight_norm_sq": float(model.weights @ model.weights),
+        "bias": float(model.bias),
+    }
+
+
+BUILDERS = {
+    "ddigcn_sgcn": _fit_ddigcn_sgcn,
+    "ddigcn_gin": _fit_ddigcn_gin,
+    "mdgcn": _fit_mdgcn,
+    "lightgcn": _fit_lightgcn,
+    "gcmc": _fit_gcmc,
+    "bipargcn": _fit_bipargcn,
+    "safedrug": _fit_safedrug,
+    "causerec": _fit_causerec,
+    "ecc": _fit_ecc,
+    "logistic": _fit_logistic,
+    "linear_svm": _fit_linear_svm,
+}
+
+
+@pytest.fixture(scope="module")
+def recorded() -> dict:
+    with open(FIXTURE, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_losses_match_pre_refactor_fixture(name: str, recorded: dict) -> None:
+    expected = recorded[name]
+    actual = BUILDERS[name]()
+    assert set(actual) == set(expected), f"{name}: recorded quantities changed"
+    for key, value in expected.items():
+        assert actual[key] == pytest.approx(value, rel=RTOL, abs=0.0), (
+            f"{name}.{key}: expected {value!r}, got {actual[key]!r} — "
+            "training semantics drifted from the pre-refactor loop"
+        )
+
+
+if __name__ == "__main__":
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    values = {name: fn() for name, fn in sorted(BUILDERS.items())}
+    with open(FIXTURE, "w", encoding="utf-8") as fh:
+        json.dump(values, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {FIXTURE}")
+    for name, vals in values.items():
+        print(f"  {name}: {vals}")

@@ -1,0 +1,150 @@
+"""CI resume smoke: kill a checkpointed fit mid-run, resume, compare.
+
+Drives the real CLI end to end:
+
+1. start ``repro run chronic.fit.dssddi_sgcn --scale tiny
+   --checkpoint-every 1`` as a subprocess;
+2. poll for the first MD-module checkpoint and ``SIGKILL`` the process
+   (a genuine hard kill — no cleanup handlers run);
+3. re-run the same command and assert the run manifest records
+   ``resumed_from`` plus checkpoint metadata;
+4. run the stage uninterrupted in a *fresh* cache and assert both cached
+   artifacts carry the same content digest — i.e. the resumed fit is
+   bitwise-identical to one that was never interrupted.
+
+The kill in step 2 races the (fast) tiny-scale fit; if the fit finishes
+before the signal lands, the attempt is discarded and retried with a
+fresh cache so the smoke never asserts on a stale premise.
+
+Usage::
+
+    PYTHONPATH=src python tools/resume_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+STAGE = "chronic.fit.dssddi_sgcn"
+ATTEMPTS = 5
+
+
+def _repro(*args: str, cache_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.pipeline", "run", STAGE,
+            "--scale", "tiny", "--checkpoint-every", "1",
+            "--cache-dir", str(cache_dir), *args,
+        ],
+        env=env,
+    )
+
+
+def _stage_digest(cache_dir: Path) -> str:
+    from repro.pipeline.cache import StageCache
+
+    entries = [e for e in StageCache(cache_dir).entries() if e.stage == STAGE]
+    if len(entries) != 1:
+        raise AssertionError(
+            f"expected exactly one cached {STAGE} entry under {cache_dir}, "
+            f"found {len(entries)}"
+        )
+    return entries[0].digest
+
+
+def _kill_mid_fit(cache_dir: Path) -> bool:
+    """Start the fit and SIGKILL it after its first MD checkpoint.
+
+    Returns False (attempt void) when the fit finished before the kill.
+    """
+    process = _repro(cache_dir=cache_dir)
+    pattern = str(cache_dir / "checkpoints" / "*" / "md" / "epoch-*" / "state.json")
+    try:
+        deadline = time.time() + 180
+        while time.time() < deadline:
+            if glob.glob(pattern):
+                break
+            if process.poll() is not None:
+                return False  # finished (or died) before any MD checkpoint
+            time.sleep(0.002)
+        else:
+            raise AssertionError("no MD checkpoint appeared within 180s")
+        if process.poll() is not None:
+            return False  # finished in the polling gap
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=60)
+        return True
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=60)
+
+
+def main(workdir: str = ".ci_resume_smoke") -> int:
+    sys.path.insert(0, "src")
+    base = Path(workdir)
+    shutil.rmtree(base, ignore_errors=True)
+
+    interrupted = base / "interrupted"
+    for attempt in range(1, ATTEMPTS + 1):
+        shutil.rmtree(interrupted, ignore_errors=True)
+        if _kill_mid_fit(interrupted):
+            print(f"killed the fit mid-run (attempt {attempt})")
+            break
+        print(f"attempt {attempt}: fit outran the kill; retrying")
+    else:
+        raise AssertionError(f"could not kill the fit mid-run in {ATTEMPTS} attempts")
+
+    # The killed run must have left checkpoints but no cached output.
+    from repro.pipeline.cache import StageCache
+
+    cache = StageCache(interrupted)
+    assert not any(e.stage == STAGE for e in cache.entries()), (
+        "killed run unexpectedly cached its output"
+    )
+
+    # Re-run: must resume (not refit) and record that in the manifest.
+    rerun = _repro(cache_dir=interrupted)
+    assert rerun.wait(timeout=600) == 0, "resumed run failed"
+
+    from repro.pipeline import load_manifests
+
+    manifests = [
+        m for m in load_manifests(interrupted / "runs") if m.experiment == STAGE
+    ]
+    assert manifests, "resumed run wrote no manifest"
+    record = {s.stage: s for s in manifests[-1].stages}[STAGE]
+    assert record.training, "manifest is missing training metadata"
+    md = record.training["md"]
+    assert md["resumed_from"] is not None, f"no resume recorded: {md}"
+    assert md["checkpoints"] >= 1 and md["checkpoint_digest"], md
+
+    # Bitwise comparison against a never-interrupted fit.
+    clean = base / "clean"
+    uninterrupted = _repro(cache_dir=clean)
+    assert uninterrupted.wait(timeout=600) == 0, "clean run failed"
+    resumed_digest = _stage_digest(interrupted)
+    clean_digest = _stage_digest(clean)
+    assert resumed_digest == clean_digest, (
+        f"resumed artifact {resumed_digest[:12]} != "
+        f"uninterrupted {clean_digest[:12]}"
+    )
+    print(
+        f"resume smoke OK: resumed from epoch {md['resumed_from']}, "
+        f"{md['checkpoints']} checkpoint(s), digest {resumed_digest[:12]} "
+        "matches the uninterrupted run bitwise"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))
