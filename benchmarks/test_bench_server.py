@@ -26,8 +26,13 @@ repo root.  Set ``BENCH_SERVER_SMOKE=1`` for the reduced CI smoke run
 runners cannot guarantee scheduler-sensitive wall-clock margins).
 """
 
+import http.client
 import json
 import os
+import signal
+import subprocess
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -40,8 +45,13 @@ from repro.core import (
     ServerConfig,
 )
 from repro.data import generate_chronic_cohort, split_patients, standardize_features
-from repro.server import GatewayApp, ModelRegistry, publish_artifact
-from repro.server.loadgen import InprocTarget, make_feature_pool, run_load
+from repro.server import GatewayApp, ModelRegistry, publish_artifact, read_pool_state
+from repro.server.loadgen import (
+    HTTPTarget,
+    InprocTarget,
+    make_feature_pool,
+    run_load,
+)
 
 SMOKE = os.environ.get("BENCH_SERVER_SMOKE") == "1"
 CONCURRENCY = 32
@@ -226,3 +236,172 @@ def test_bench_bitwise_identical_scores(served_root):
         assert np.array_equal(np.asarray(batched_scores), np.asarray(seq_scores))
     RESULTS["bitwise_identical_scores"] = True
     _flush_results()
+
+
+# ---------------------------------------------------------------------------
+# Pre-fork worker scaling (ISSUE 6)
+# ---------------------------------------------------------------------------
+
+CORES = len(os.sched_getaffinity(0))
+WORKER_COUNTS = (1, 2, 4)
+POOL_DURATION_S = 0.5 if SMOKE else 1.0
+POOL_ROUNDS = 1 if SMOKE else 2
+MIN_POOL_SPEEDUP = 2.0  # 4 workers vs 1, asserted only with >= 4 cores
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+class _Pool:
+    """A `repro-serve --workers N` subprocess plus its discovery state."""
+
+    def __init__(self, root, workers, stats_dir):
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.stats_dir = str(stats_dir)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.server", str(root),
+                "--workers", str(workers),
+                "--port", "0",
+                "--stats-dir", self.stats_dir,
+                "--stats-interval", "0.5",
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.host = None
+        self.port = None
+
+    def wait_ready(self, workers, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"pool exited rc={self.proc.returncode}:\n"
+                    f"{self.proc.stdout.read()}"
+                )
+            state = read_pool_state(self.stats_dir)
+            if state and len(state.get("workers", {})) >= workers:
+                self.host, self.port = state["host"], state["port"]
+                try:
+                    status, _ = self.http("GET", "/healthz")
+                except OSError:
+                    status = -1
+                if status == 200:
+                    return self
+            time.sleep(0.1)
+        raise RuntimeError(f"pool not ready within {timeout}s")
+
+    def http(self, method, path, body=None, timeout=30.0):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            conn.request(
+                method, path, body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def terminate(self, timeout=60.0):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10.0)
+
+
+def _measure_pool(root, workers, stats_dir):
+    """Best-of-rounds closed-loop HTTP load against a live worker pool."""
+    pool = _Pool(root, workers, stats_dir)
+    try:
+        pool.wait_ready(workers)
+        target = HTTPTarget(f"http://{pool.host}:{pool.port}")
+        feature_pool = make_feature_pool(71)
+        run_load(  # warm-up: connections, BLAS, per-worker batchers
+            target, feature_pool, duration_s=0.2, concurrency=CONCURRENCY, k=K
+        )
+        best = None
+        for _round in range(POOL_ROUNDS):
+            report = run_load(
+                target,
+                feature_pool,
+                duration_s=POOL_DURATION_S,
+                concurrency=CONCURRENCY,
+                k=K,
+            )
+            if best is None or report.throughput_rps > best.throughput_rps:
+                best = report
+        # Bitwise probe: the same patient scored through this pool.
+        status, probe = pool.http(
+            "POST", "/v1/suggest",
+            body={
+                "features": [feature_pool[0].tolist()],
+                "k": K,
+                "return_scores": True,
+            },
+        )
+        assert status == 200
+        return best, probe
+    finally:
+        pool.terminate()
+
+
+def test_bench_workers_scaling(served_root, tmp_path_factory):
+    """Throughput across 1/2/4 pre-fork workers; bitwise-equal scores.
+
+    The >= 2x (4 workers vs 1) floor is only asserted when the host
+    actually has >= 4 cores — on a 1-core box the pool cannot scale and
+    the curve is recorded for transparency instead.
+    """
+    section = {
+        "cores": CORES,
+        "concurrency": CONCURRENCY,
+        "duration_s": POOL_DURATION_S,
+        "smoke": SMOKE,
+        "mmap_artifacts": True,
+        "workers": {},
+    }
+    probes = {}
+    throughput = {}
+    for workers in WORKER_COUNTS:
+        stats_dir = tmp_path_factory.mktemp(f"pool-stats-{workers}w")
+        report, probe = _measure_pool(served_root, workers, stats_dir)
+        assert report.errors == 0, (workers, report)
+        throughput[workers] = report.throughput_rps
+        probes[workers] = probe
+        section["workers"][str(workers)] = report.to_dict()
+        print(
+            f"\nworkers={workers}: {report.throughput_rps:.0f} req/s "
+            f"(p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms)"
+        )
+
+    # Scores are bitwise-identical whatever the worker count: one
+    # artifact, mmap'd read-only into every worker of every pool.
+    reference = probes[WORKER_COUNTS[0]]
+    for workers in WORKER_COUNTS[1:]:
+        assert probes[workers]["suggestions"] == reference["suggestions"]
+        assert probes[workers]["scores"] == reference["scores"]
+        assert probes[workers]["version"] == reference["version"]
+    section["bitwise_identical_across_worker_counts"] = True
+
+    speedup = throughput[4] / throughput[1]
+    section["speedup_4_vs_1"] = round(speedup, 2)
+    print(f"\n4-worker vs 1-worker speedup: {speedup:.2f}x (cores={CORES})")
+
+    RESULTS["workers_scaling"] = section
+    try:
+        if CORES >= 4 and not SMOKE:
+            assert speedup >= MIN_POOL_SPEEDUP
+    finally:
+        _flush_results()

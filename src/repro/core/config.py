@@ -208,6 +208,16 @@ class ServerConfig(_SerializableConfig):
             POST /-/reload always works).
         latency_reservoir: reservoir size of the latency estimator
             behind the ``/metrics`` percentiles.
+        workers: pre-fork worker process count (:mod:`repro.server.pool`).
+            Each worker serves the shared listening socket with its own
+            batcher/registry; 1 keeps the single-process gateway.
+        mmap_artifacts: ``None`` = auto (memory-map artifacts exactly
+            when running as a pool worker); ``True``/``False`` force it.
+        drain_timeout_s: on SIGTERM, how long a worker waits for
+            in-flight requests to finish before exiting anyway.
+        stats_interval_s: how often each pool worker publishes its
+            counter snapshot to the shared stats board (``/metrics``
+            aggregation across workers).
     """
 
     host: str = "127.0.0.1"
@@ -220,11 +230,15 @@ class ServerConfig(_SerializableConfig):
     pinned_version: Optional[str] = None
     watch_interval_s: float = 0.0
     latency_reservoir: int = 4096
+    workers: int = 1
+    mmap_artifacts: Optional[bool] = None
+    drain_timeout_s: float = 10.0
+    stats_interval_s: float = 1.0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on out-of-range gateway knobs."""
-        if not 0 < self.port < 65536:
-            raise ValueError("port must be in (0, 65536)")
+        if not 0 <= self.port < 65536:
+            raise ValueError("port must be in [0, 65536) (0 = ephemeral)")
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_wait_ms < 0:
@@ -239,6 +253,12 @@ class ServerConfig(_SerializableConfig):
             raise ValueError("watch_interval_s must be >= 0")
         if self.latency_reservoir < 1:
             raise ValueError("latency_reservoir must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be > 0")
+        if self.stats_interval_s <= 0:
+            raise ValueError("stats_interval_s must be > 0")
 
 
 @dataclass

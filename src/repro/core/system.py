@@ -222,15 +222,19 @@ class DSSDDI:
         save_artifact(self, path)
 
     @classmethod
-    def load(cls, path) -> "DSSDDI":
+    def load(cls, path, mmap_mode=None) -> "DSSDDI":
         """Rebuild a fitted system from a :meth:`save` artifact.
 
         The restored system's :meth:`predict_scores` is bitwise identical
         to the saved one's; no retraining or RNG is involved.
+        ``mmap_mode="r"`` memory-maps the stored arrays instead of
+        copying them — processes loading the same artifact then share
+        one physical copy of the weights through the page cache (this is
+        how ``repro-serve --workers N`` keeps N workers at ~1x RSS).
         """
         from ..serving.artifact import load_system
 
-        return load_system(path)
+        return load_system(path, mmap_mode=mmap_mode)
 
     @classmethod
     def _from_artifact(

@@ -14,15 +14,21 @@ request, and exposes Prometheus metrics.
   percentiles, batch-size histogram, Prometheus text rendering.
 * :mod:`repro.server.app` — :class:`GatewayApp`, the
   transport-independent request handlers.
-* :mod:`repro.server.http` — the stdlib threaded HTTP shim.
-* :mod:`repro.server.loadgen` — closed-loop load generator writing
-  ``BENCH_server.json``.
+* :mod:`repro.server.http` — the stdlib threaded HTTP shim (with
+  inherited-socket support and graceful-drain request tracking).
+* :mod:`repro.server.pool` — the pre-fork worker pool: one shared
+  listening socket, N supervised worker processes, mmap'd artifacts.
+* :mod:`repro.server.stats` — the pool's cross-process stats board
+  (per-worker JSON snapshots aggregated into ``repro_pool_*`` metrics).
+* :mod:`repro.server.loadgen` — closed- and open-loop load generator
+  writing ``BENCH_server.json``.
 * :mod:`repro.server.cli` — the ``repro-serve`` console script.
 
 Quickstart::
 
     repro publish --scale small --model-root models/   # pipeline -> artifact
     repro-serve models/ --watch-interval 5             # serve + auto hot-swap
+    repro-serve models/ --workers 4                    # pre-fork pool
 
     curl -s localhost:8035/healthz
     curl -s -X POST localhost:8035/v1/suggest \
@@ -38,8 +44,10 @@ In-process::
 from ..core.config import ServerConfig
 from .app import GatewayApp, RequestError
 from .batcher import BatcherClosed, MicroBatcher, SubmitTimeout
-from .http import build_server, serve_in_thread
+from .http import RequestTracker, build_server, serve_in_thread
 from .metrics import BatchSizeHistogram, CounterSet, GatewayMetrics, LatencyReservoir
+from .pool import WorkerSupervisor, backoff_delay, create_listen_socket, worker_main
+from .stats import StatsBoard, read_pool_state, write_pool_state
 from .registry import (
     ModelRegistry,
     ModelVersion,
@@ -64,6 +72,14 @@ __all__ = [
     "SubmitTimeout",
     "build_server",
     "serve_in_thread",
+    "RequestTracker",
+    "WorkerSupervisor",
+    "worker_main",
+    "create_listen_socket",
+    "backoff_delay",
+    "StatsBoard",
+    "read_pool_state",
+    "write_pool_state",
     "GatewayMetrics",
     "CounterSet",
     "LatencyReservoir",

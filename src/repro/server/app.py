@@ -30,9 +30,10 @@ two flushes is atomic and drops nothing.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -132,6 +133,12 @@ class GatewayApp:
             registry.score_block = self.config.score_block
         self.metrics = GatewayMetrics(self.config.latency_reservoir)
         self.started_at = time.monotonic()
+        #: Set by the pre-fork pool's worker_main: {"worker", "pid",
+        #: "mmap"}.  None in the single-process gateway.
+        self.worker_info: Optional[Dict[str, Any]] = None
+        #: Extra text appended to /metrics (the pool's cross-process
+        #: aggregate); None renders per-process metrics only.
+        self.metrics_extra: Optional[Callable[[], str]] = None
         if not lazy:
             self.registry.reload()
         self.batcher = MicroBatcher(
@@ -244,6 +251,8 @@ class GatewayApp:
             "k": int(suggestions.shape[1]),
             "version": flushed_by.version.name,
         }
+        if self.worker_info is not None:
+            response["worker"] = self.worker_info["worker"]
         if return_scores:
             response["scores"] = scores.tolist()
         return 200, response
@@ -288,6 +297,8 @@ class GatewayApp:
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "queue_depth": self.batcher.queue_depth,
         }
+        if self.worker_info is not None:
+            base["worker"] = dict(self.worker_info)
         try:
             handle = self.registry.active()
         except NoModelError as exc:
@@ -376,7 +387,53 @@ class GatewayApp:
                     ("repro_server_explanation_cache_hit_rate", {}, stats.cache_hit_rate),
                 ]
             )
-        return self.metrics.render(extra_gauges=gauges)
+        if self.worker_info is not None:
+            gauges.append(
+                (
+                    "repro_server_worker_info",
+                    {
+                        "worker": str(self.worker_info["worker"]),
+                        "pid": str(self.worker_info["pid"]),
+                    },
+                    1.0,
+                )
+            )
+        text = self.metrics.render(extra_gauges=gauges)
+        if self.metrics_extra is not None:
+            text += self.metrics_extra()
+        return text
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Plain-dict counters for the pool's cross-process stats board.
+
+        Everything a sibling process needs to aggregate this gateway's
+        traffic (see :class:`repro.server.stats.StatsBoard`): request
+        and 5xx totals from the counters, batcher/registry state, and
+        the served version.  JSON-safe by construction.
+        """
+        requests_total = 0
+        errors_total = 0
+        for name, labels, value in self.metrics.counters.items():
+            if name == "repro_server_requests_total":
+                requests_total += value
+                if labels.get("status", "").startswith("5"):
+                    errors_total += value
+        snap: Dict[str, Any] = {
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "requests_total": requests_total,
+            "errors_total": errors_total,
+            "flushes": self.batcher.flushes,
+            "queue_depth": self.batcher.queue_depth,
+            "swaps": self.registry.swaps,
+        }
+        if self.registry.has_model:
+            handle = self.registry.active()
+            snap["version"] = handle.version.name
+            snap["patients_scored"] = handle.service.stats().patients_scored
+        if self.worker_info is not None:
+            snap.update(self.worker_info)
+        return snap
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -401,6 +458,10 @@ def parse_json_body(raw: bytes) -> Dict[str, Any]:
         body = json.loads(raw)
     except json.JSONDecodeError as exc:
         raise RequestError(f"invalid JSON: {exc}") from None
+    except UnicodeDecodeError:
+        # json.loads decodes bytes itself; non-UTF-8 noise raises this
+        # instead of JSONDecodeError and must be the same client error.
+        raise RequestError("invalid JSON: request body is not UTF-8") from None
     if not isinstance(body, dict):
         raise RequestError("request body must be a JSON object")
     return body

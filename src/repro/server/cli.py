@@ -8,24 +8,33 @@ installation as ``python -m repro.server``::
     repro-serve models/ --pin v0001-1f0f2a9c
     repro-serve path/to/model_dir           # a bare artifact dir works too
     repro-serve models/ --max-batch-size 64 --max-wait-ms 3
+    repro-serve models/ --workers 4         # pre-fork pool, mmap'd weights
 
 The positional argument is an *artifact root* (subdirectories published
 by ``repro publish`` / :func:`repro.server.registry.publish_artifact`) or
 a single ``DSSDDI.save`` artifact directory.  ``--watch-interval N``
 hot-swaps automatically when a new version lands; ``POST /-/reload``
 always triggers a swap on demand.
+
+``--workers N`` switches to the pre-fork pool
+(:mod:`repro.server.pool`): the parent binds the socket and supervises,
+N forked workers serve it, each memory-mapping the artifact so the model
+weights exist once in physical memory however many workers run.  Without
+``--workers`` the classic single-process gateway runs, unchanged.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 from typing import List, Optional
 
 from ..core.config import ServerConfig
 from .app import GatewayApp
 from .http import build_server
-from .registry import ModelRegistry, NoModelError
+from .registry import ModelRegistry, NoModelError, scan_versions
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +54,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--host", default=defaults.host)
     parser.add_argument("--port", type=int, default=defaults.port)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="run a pre-fork pool of N worker processes over one shared "
+        "listening socket (omit for the single-process gateway)",
+    )
+    parser.add_argument(
+        "--stats-dir", default=None,
+        help="pool only: directory for pool.json and per-worker stats "
+        "snapshots (default: a fresh temp directory, printed at startup)",
+    )
+    parser.add_argument(
+        "--mmap", dest="mmap_artifacts", action="store_true", default=None,
+        help="memory-map artifact arrays instead of copying them "
+        "(the pool default; opt-in for the single-process gateway)",
+    )
+    parser.add_argument(
+        "--no-mmap", dest="mmap_artifacts", action="store_false",
+        help="load artifact arrays as in-memory copies even in the pool",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=defaults.drain_timeout_s,
+        help="pool only: seconds a SIGTERM'd worker waits for in-flight "
+        "requests before giving up",
+    )
+    parser.add_argument(
+        "--stats-interval", type=float, default=defaults.stats_interval_s,
+        help="pool only: seconds between per-worker stats snapshots",
+    )
     parser.add_argument(
         "--max-batch-size", type=int, default=defaults.max_batch_size,
         help="micro-batch flush size trigger (1 disables coalescing)",
@@ -82,6 +119,10 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
     config = ServerConfig(
         host=args.host,
         port=args.port,
+        workers=args.workers if args.workers is not None else 1,
+        mmap_artifacts=args.mmap_artifacts,
+        drain_timeout_s=args.drain_timeout,
+        stats_interval_s=args.stats_interval,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         score_block=args.score_block,
@@ -93,6 +134,50 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
     return config
 
 
+def _run_pool(args: argparse.Namespace, config: ServerConfig) -> int:
+    """The ``--workers N`` path: supervise a pre-fork pool until SIGTERM."""
+    from .pool import WorkerSupervisor
+
+    # Fail fast in the parent (exit 2 + hint) rather than letting every
+    # forked worker crash-loop against an empty root.
+    if not scan_versions(args.root):
+        print(f"error: no model versions under {args.root}", file=sys.stderr)
+        print(
+            "hint: publish one with "
+            "'repro publish --scale tiny --model-root <root>' or point "
+            "repro-serve at a DSSDDI.save directory",
+            file=sys.stderr,
+        )
+        return 2
+    stats_dir = args.stats_dir or tempfile.mkdtemp(prefix="repro-pool-")
+    # Workers default to mmap (the point of the pool: one physical copy
+    # of the weights); --no-mmap restores per-worker copies.
+    mmap_mode = None if config.mmap_artifacts is False else "r"
+    supervisor = WorkerSupervisor(
+        args.root,
+        config,
+        stats_dir,
+        verbose=args.verbose,
+        mmap_mode=mmap_mode,
+    )
+    print(
+        f"pool: {config.workers} workers (supervisor pid {os.getpid()}) "
+        f"on http://{supervisor.host}:{supervisor.port}"
+    )
+    print(
+        f"pool: artifacts {'memory-mapped' if mmap_mode else 'copied'}; "
+        f"stats + pool.json in {stats_dir}"
+    )
+    print(
+        f"micro-batching: max_batch_size={config.max_batch_size}, "
+        f"max_wait_ms={config.max_wait_ms}, score_block={config.score_block}; "
+        f"watch_interval_s={config.watch_interval_s}, "
+        f"drain_timeout_s={config.drain_timeout_s}",
+        flush=True,
+    )
+    return supervisor.run()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-serve`` console script."""
     args = build_parser().parse_args(argv)
@@ -101,10 +186,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.workers is not None:
+        return _run_pool(args, config)
     registry = ModelRegistry(
         args.root,
         pinned_version=config.pinned_version,
         score_block=config.score_block,  # 0 is an explicit "legacy path"
+        mmap_mode="r" if config.mmap_artifacts else None,
     )
     try:
         app = GatewayApp(registry, config)

@@ -13,20 +13,78 @@ Usage::
     serve_forever(server)          # blocking; or server in a thread
 
 ``build_server`` binds immediately (port 0 picks a free port — tests use
-this), so by the time it returns, ``/healthz`` is reachable.
+this), so by the time it returns, ``/healthz`` is reachable.  Passing an
+already-bound listening socket via ``sock=`` skips the bind: the pre-fork
+worker pool (:mod:`repro.server.pool`) creates one socket in the parent
+and every forked worker serves it, so the kernel load-balances accepts
+across workers and the listener never goes down while a worker restarts.
+
+Graceful drain: every server carries a :class:`RequestTracker` counting
+in-flight request dispatches.  A worker shutting down sets
+``server.draining = True`` (handlers then close their connection after
+the current response instead of keeping it alive), stops the accept loop,
+and waits on ``tracker.wait_idle`` so every request that already arrived
+gets its response before the process exits.
 """
 
 from __future__ import annotations
 
 import json
+import socket as socket_module
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from .app import GatewayApp, RequestError, parse_json_body
 
 #: Hard cap on accepted request bodies (1 MiB is ~1300 patient rows).
 MAX_BODY_BYTES = 1 << 20
+
+
+class RequestTracker:
+    """Count in-flight request dispatches; support a bounded idle wait.
+
+    ``ThreadingHTTPServer`` runs daemon handler threads and never joins
+    them, so "shut down gracefully" needs its own bookkeeping: handlers
+    bracket each dispatch with :meth:`begin`/:meth:`end`, and the drain
+    path blocks on :meth:`wait_idle` until every accepted request has
+    been answered (or the timeout expires).
+    """
+
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._inflight = 0
+        self.total = 0
+
+    def begin(self) -> None:
+        """One request dispatch started."""
+        with self._cv:
+            self._inflight += 1
+            self.total += 1
+
+    def end(self) -> None:
+        """One request dispatch finished (response written or failed)."""
+        with self._cv:
+            self._inflight -= 1
+            self._cv.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being dispatched."""
+        with self._cv:
+            return self._inflight
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no dispatch is in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cv.wait(remaining)
+            return True
 
 
 class GatewayRequestHandler(BaseHTTPRequestHandler):
@@ -44,6 +102,9 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802  (http.server API)
         """Dispatch ``GET`` routes (healthz, metrics, versions)."""
+        tracker = getattr(self.server, "request_tracker", None)
+        if tracker is not None:
+            tracker.begin()
         try:
             if self.path == "/healthz":
                 self._send_json(*self.app.healthz())
@@ -57,9 +118,17 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                 )
         except Exception as exc:  # never drop the connection responseless
             self._send_internal_error(exc)
+        finally:
+            if tracker is not None:
+                tracker.end()
+            if getattr(self.server, "draining", False):
+                self.close_connection = True
 
     def do_POST(self) -> None:  # noqa: N802  (http.server API)
         """Dispatch ``POST`` routes (suggest, explain, reload)."""
+        tracker = getattr(self.server, "request_tracker", None)
+        if tracker is not None:
+            tracker.begin()
         try:
             try:
                 # Drain the body before routing, whatever the outcome — a
@@ -82,6 +151,18 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                     404, {"error": f"no such endpoint: POST {self.path}"}
                 )
                 return
+            content_type = (self.headers.get("Content-Type") or "").strip()
+            if content_type and content_type.split(";")[0].strip().lower() != (
+                "application/json"
+            ):
+                self._send_json(
+                    415,
+                    {
+                        "error": f"unsupported Content-Type {content_type!r} "
+                        "(expected application/json)"
+                    },
+                )
+                return
             try:
                 body = parse_json_body(raw)
             except RequestError as exc:
@@ -91,6 +172,11 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_json(status, response)
         except Exception as exc:  # never drop the connection responseless
             self._send_internal_error(exc)
+        finally:
+            if tracker is not None:
+                tracker.end()
+            if getattr(self.server, "draining", False):
+                self.close_connection = True
 
     # ------------------------------------------------------------------
     def _send_internal_error(self, exc: Exception) -> None:
@@ -108,11 +194,21 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
             raise RequestError("invalid Content-Length header") from None
+        if length < 0:
+            raise RequestError("invalid Content-Length header")
         if length > MAX_BODY_BYTES:
             raise RequestError(
                 f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
             )
-        return self.rfile.read(length) if length else b""
+        raw = self.rfile.read(length) if length else b""
+        if len(raw) < length:
+            # The client advertised more bytes than it sent (connection
+            # truncated mid-body): a parse of the stub would produce a
+            # misleading "invalid JSON" — name the real problem.
+            raise RequestError(
+                f"truncated request body ({len(raw)} of {length} bytes)"
+            )
+        return raw
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         raw = json.dumps(payload).encode("utf-8")
@@ -141,15 +237,37 @@ def build_server(
     host: str = "127.0.0.1",
     port: int = 8035,
     verbose: bool = False,
+    sock: Optional[socket_module.socket] = None,
 ) -> ThreadingHTTPServer:
-    """Bind a threaded HTTP server serving ``app`` (port 0 = ephemeral)."""
+    """Bind a threaded HTTP server serving ``app`` (port 0 = ephemeral).
+
+    ``sock``, when given, must be an already-bound listening socket; the
+    server adopts it instead of binding ``(host, port)``.  This is the
+    pre-fork path: the pool parent binds once, and every forked worker
+    builds its server over the inherited socket.
+    """
     handler = type(
         "BoundGatewayHandler",
         (GatewayRequestHandler,),
         {"app": app, "verbose": verbose},
     )
-    server = ThreadingHTTPServer((host, port), handler)
+    if sock is None:
+        server = ThreadingHTTPServer((host, port), handler)
+    else:
+        bound_host, bound_port = sock.getsockname()[:2]
+        server = ThreadingHTTPServer(
+            (bound_host, bound_port), handler, bind_and_activate=False
+        )
+        server.socket.close()  # the constructor's unbound placeholder
+        server.socket = sock
+        server.server_address = sock.getsockname()[:2]
+        # What HTTPServer.server_bind would have derived (minus the
+        # reverse-DNS getfqdn lookup, pointless for a worker).
+        server.server_name = bound_host
+        server.server_port = bound_port
     server.daemon_threads = True
+    server.request_tracker = RequestTracker()
+    server.draining = False
     return server
 
 

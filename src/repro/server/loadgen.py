@@ -1,10 +1,19 @@
-"""Load generator for the gateway: closed-loop traffic + BENCH_server.json.
+"""Load generator for the gateway: closed/open-loop + BENCH_server.json.
 
-Drives a gateway with ``concurrency`` closed-loop workers (each sends its
-next request as soon as the previous one answers — the standard way to
-measure a serving system's throughput/latency trade-off) for a fixed
-duration and reports throughput, latency percentiles, error counts, and
-the observed micro-batch sizes.
+Two arrival models over the same targets:
+
+* **closed-loop** (:func:`run_load`) — ``concurrency`` workers, each
+  sending its next request as soon as the previous one answers; the
+  standard way to measure a serving system's throughput/latency
+  trade-off.
+* **open-loop** (:func:`run_open_loop`) — requests dispatched on a
+  precomputed arrival schedule *independent of response times*, the way
+  real traffic arrives.  Latency is measured from the scheduled arrival,
+  so queueing delay when the gateway falls behind the offered rate is
+  *included* — closed-loop generators hide exactly that (coordinated
+  omission).  Schedules are seeded and fully deterministic:
+  :func:`poisson_schedule` (exponential inter-arrivals) and
+  :func:`burst_schedule` (periodic on/off bursts via thinning).
 
 Two transports, same traffic:
 
@@ -33,6 +42,7 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import queue
 import socket
 import sys
 import threading
@@ -57,9 +67,13 @@ class LoadReport:
         throughput_rps: requests per second (completed only).
         p50_ms / p90_ms / p99_ms: latency percentiles over all requests.
         mean_latency_ms: mean request latency.
-        concurrency: closed-loop worker count.
+        concurrency: closed-loop worker count (open-loop: sender cap).
         mean_batch_rows: mean rows per micro-batch flush observed by the
             gateway during the run (0 when the target cannot report it).
+        mode: ``"closed"`` or the open-loop schedule kind
+            (``"poisson"``/``"burst"``).
+        offered_rps: scheduled arrival rate of an open-loop run (0 for
+            closed-loop, where the load adapts to the service rate).
     """
 
     requests: int
@@ -72,6 +86,8 @@ class LoadReport:
     mean_latency_ms: float
     concurrency: int
     mean_batch_rows: float = 0.0
+    mode: str = "closed"
+    offered_rps: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation."""
@@ -287,6 +303,193 @@ def run_load(
     )
 
 
+def poisson_schedule(
+    rate_rps: float, duration_s: float, seed: int = 23
+) -> np.ndarray:
+    """Seeded Poisson arrival times (seconds from start), sorted.
+
+    Exponential inter-arrival gaps at ``rate_rps``, accumulated until
+    ``duration_s`` is covered.  Fully deterministic for a given
+    ``(rate_rps, duration_s, seed)`` — the open-loop tests replay the
+    exact same trace twice and assert bitwise-equal timestamps.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    rng = np.random.default_rng(seed)
+    block = max(16, int(rate_rps * duration_s * 1.25) + 16)
+    chunks: List[np.ndarray] = []
+    last = 0.0
+    while last <= duration_s:
+        gaps = rng.exponential(1.0 / rate_rps, block)
+        times = last + np.cumsum(gaps)
+        chunks.append(times)
+        last = float(times[-1])
+    arrivals = np.concatenate(chunks)
+    return arrivals[arrivals <= duration_s]
+
+
+def burst_schedule(
+    base_rate_rps: float,
+    burst_rate_rps: float,
+    duration_s: float,
+    period_s: float = 1.0,
+    burst_fraction: float = 0.25,
+    seed: int = 23,
+) -> np.ndarray:
+    """Seeded bursty arrivals: periodic spikes over a base rate.
+
+    The rate function alternates every ``period_s`` seconds: the first
+    ``burst_fraction`` of each period runs at ``burst_rate_rps``, the
+    rest at ``base_rate_rps``.  Sampled by *thinning*: draw a
+    homogeneous Poisson stream at the peak rate, then keep each
+    candidate with probability ``rate(t) / peak`` — the textbook exact
+    method for inhomogeneous Poisson processes, and deterministic here
+    because both the candidates and the keep draws come from one seeded
+    generator.
+    """
+    if base_rate_rps <= 0:
+        raise ValueError("base_rate_rps must be > 0")
+    if burst_rate_rps < base_rate_rps:
+        raise ValueError("burst_rate_rps must be >= base_rate_rps")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError("burst_fraction must be in (0, 1)")
+    if period_s <= 0:
+        raise ValueError("period_s must be > 0")
+    rng = np.random.default_rng(seed)
+    block = max(16, int(burst_rate_rps * duration_s * 1.25) + 16)
+    chunks: List[np.ndarray] = []
+    last = 0.0
+    while last <= duration_s:
+        gaps = rng.exponential(1.0 / burst_rate_rps, block)
+        times = last + np.cumsum(gaps)
+        chunks.append(times)
+        last = float(times[-1])
+    candidates = np.concatenate(chunks)
+    candidates = candidates[candidates <= duration_s]
+    phase = np.mod(candidates, period_s)
+    rate_at = np.where(
+        phase < burst_fraction * period_s, burst_rate_rps, base_rate_rps
+    )
+    keep = rng.random(candidates.size) < rate_at / burst_rate_rps
+    return candidates[keep]
+
+
+def run_open_loop(
+    target,
+    feature_pool: np.ndarray,
+    schedule: np.ndarray,
+    k: int = 3,
+    hot_fraction: float = 0.0,
+    hot_rows: int = 8,
+    seed: int = 23,
+    max_inflight: int = 64,
+    mode: str = "poisson",
+) -> LoadReport:
+    """Open-loop load: dispatch on ``schedule``, regardless of responses.
+
+    A dispatcher walks the arrival schedule in real time and hands each
+    arrival to a pool of ``max_inflight`` sender threads (each owning a
+    persistent connection).  Latency is measured **from the scheduled
+    arrival time** to response completion, so if the gateway falls
+    behind the offered rate, the backlog shows up as latency — the
+    coordinated-omission-free measurement closed loops cannot give.
+
+    ``max_inflight`` bounds concurrent outstanding requests; arrivals
+    beyond it queue (and their queue wait is, correctly, part of their
+    latency).  Returns a :class:`LoadReport` with ``mode`` and the
+    offered rate filled in.
+    """
+    schedule = np.sort(np.asarray(schedule, dtype=np.float64))
+    if schedule.size == 0:
+        raise ValueError("schedule must contain at least one arrival")
+    if max_inflight < 1:
+        raise ValueError("max_inflight must be >= 1")
+    rng = np.random.default_rng(seed)
+    ring_size = 64
+    ring: List[Dict[str, Any]] = []
+    for _ in range(ring_size):
+        if hot_fraction and rng.random() < hot_fraction:
+            row = feature_pool[int(rng.integers(0, min(hot_rows, len(feature_pool))))]
+        else:
+            row = feature_pool[int(rng.integers(0, len(feature_pool)))]
+        ring.append({"features": [row.tolist()], "k": k})
+
+    work: "queue.Queue" = queue.Queue()
+    latencies: List[List[float]] = [[] for _ in range(max_inflight)]
+    errors = [0] * max_inflight
+    connect_failed = threading.Event()
+
+    def sender(index: int) -> None:
+        try:
+            conn = target.connect()
+        except Exception:
+            connect_failed.set()
+            errors[index] += 1
+            # Keep draining so the dispatcher never blocks on a dead pool.
+            while work.get() is not None:
+                errors[index] += 1
+            return
+        mine = latencies[index]
+        while True:
+            item = work.get()
+            if item is None:
+                return
+            i, scheduled_at = item
+            status = conn.request(ring[i % ring_size])
+            completed = time.perf_counter() - start
+            if status == 200:
+                mine.append(completed - scheduled_at)
+            else:
+                errors[index] += 1
+
+    threads = [
+        threading.Thread(target=sender, args=(i,), daemon=True)
+        for i in range(max_inflight)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for i, scheduled_at in enumerate(schedule):
+        delay = start + scheduled_at - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        work.put((i, float(scheduled_at)))
+    for _ in threads:
+        work.put(None)
+    for thread in threads:
+        thread.join(timeout=60.0)
+    elapsed = time.perf_counter() - start
+
+    all_latencies = np.array(
+        [value for sender_latencies in latencies for value in sender_latencies]
+    )
+    requests = int(all_latencies.size)
+    if requests:
+        p50, p90, p99 = (
+            float(np.percentile(all_latencies, q) * 1e3) for q in (50, 90, 99)
+        )
+        mean_ms = float(all_latencies.mean() * 1e3)
+    else:
+        p50 = p90 = p99 = mean_ms = 0.0
+    span = float(schedule[-1]) if schedule[-1] > 0 else elapsed
+    return LoadReport(
+        requests=requests,
+        errors=sum(errors),
+        duration_s=elapsed,
+        throughput_rps=requests / elapsed if elapsed > 0 else 0.0,
+        p50_ms=p50,
+        p90_ms=p90,
+        p99_ms=p99,
+        mean_latency_ms=mean_ms,
+        concurrency=max_inflight,
+        mean_batch_rows=target.batch_stats(),
+        mode=mode,
+        offered_rps=schedule.size / span if span > 0 else 0.0,
+    )
+
+
 def merge_report(path: str, key: str, payload: Dict[str, Any]) -> None:
     """Merge ``payload`` under ``key`` in the JSON report at ``path``.
 
@@ -322,12 +525,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point: load-generate against a live gateway over HTTP."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.server.loadgen",
-        description="Closed-loop load generator for the repro-serve gateway.",
+        description="Closed/open-loop load generator for the repro-serve gateway.",
     )
     parser.add_argument("--url", default="http://127.0.0.1:8035")
     parser.add_argument("--duration", type=float, default=2.0)
     parser.add_argument("--concurrency", type=int, default=32)
     parser.add_argument("--k", type=int, default=3)
+    parser.add_argument(
+        "--mode", choices=("closed", "poisson", "burst"), default="closed",
+        help="closed-loop workers (default) or open-loop seeded arrivals",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=200.0,
+        help="open-loop offered rate in requests/s (poisson; burst base rate)",
+    )
+    parser.add_argument(
+        "--burst-rate", type=float, default=None,
+        help="burst mode: peak rate during bursts (default 4x --rate)",
+    )
+    parser.add_argument(
+        "--burst-period", type=float, default=1.0,
+        help="burst mode: seconds per base+burst cycle",
+    )
+    parser.add_argument(
+        "--burst-fraction", type=float, default=0.25,
+        help="burst mode: fraction of each period spent at the peak rate",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=23,
+        help="seed for the arrival schedule and payload draw "
+        "(same seed = bitwise-identical schedule)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="open-loop: cap on concurrently outstanding requests",
+    )
     parser.add_argument(
         "--hot-fraction", type=float, default=0.0,
         help="fraction of requests drawn from a few hot rows (skewed traffic)",
@@ -348,14 +580,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"feature_dim={health.get('feature_dim')} num_drugs={health.get('num_drugs')}"
     )
     pool = make_feature_pool(int(health["feature_dim"]))
-    report = run_load(
-        HTTPTarget(args.url),
-        pool,
-        duration_s=args.duration,
-        concurrency=args.concurrency,
-        k=args.k,
-        hot_fraction=args.hot_fraction,
-    )
+    if args.mode == "closed":
+        report = run_load(
+            HTTPTarget(args.url),
+            pool,
+            duration_s=args.duration,
+            concurrency=args.concurrency,
+            k=args.k,
+            hot_fraction=args.hot_fraction,
+            seed=args.seed,
+        )
+    else:
+        if args.mode == "poisson":
+            schedule = poisson_schedule(args.rate, args.duration, seed=args.seed)
+        else:
+            burst_rate = args.burst_rate if args.burst_rate is not None else 4.0 * args.rate
+            schedule = burst_schedule(
+                args.rate,
+                burst_rate,
+                args.duration,
+                period_s=args.burst_period,
+                burst_fraction=args.burst_fraction,
+                seed=args.seed,
+            )
+        report = run_open_loop(
+            HTTPTarget(args.url),
+            pool,
+            schedule,
+            k=args.k,
+            hot_fraction=args.hot_fraction,
+            seed=args.seed,
+            max_inflight=args.max_inflight,
+            mode=args.mode,
+        )
+        print(
+            f"open-loop {args.mode}: {schedule.size} scheduled arrivals "
+            f"({report.offered_rps:.0f}/s offered, seed {args.seed})"
+        )
     print(
         f"{report.requests} requests in {report.duration_s:.2f}s "
         f"({report.throughput_rps:.0f}/s, concurrency {report.concurrency}), "

@@ -298,6 +298,10 @@ class ModelRegistry:
             ``score_block`` — a value >= 2 forces fixed-shape
             deterministic scoring, an explicit 0 forces the legacy
             variable-shape path, whatever the artifact was saved with.
+        mmap_mode: ``"r"`` memory-maps artifact arrays on load instead
+            of copying them (``None`` = copy).  The pre-fork worker pool
+            sets ``"r"`` so N workers share one physical copy of the
+            weights through the page cache.
 
     Usage::
 
@@ -313,10 +317,12 @@ class ModelRegistry:
         root: PathLike,
         pinned_version: Optional[str] = None,
         score_block: Optional[int] = None,
+        mmap_mode: Optional[str] = None,
     ) -> None:
         self.root = Path(root)
         self.pinned_version = pinned_version
         self.score_block = score_block
+        self.mmap_mode = mmap_mode
         self._swap_lock = threading.Lock()
         self._active: Optional[ServingHandle] = None
         self.swaps = 0
@@ -386,7 +392,7 @@ class ModelRegistry:
             return True, target
 
     def _load_service(self, version: ModelVersion) -> SuggestionService:
-        service = SuggestionService.load(version.path)
+        service = SuggestionService.load(version.path, mmap_mode=self.mmap_mode)
         if self.score_block is not None:
             config: ServingConfig = replace(
                 service.config, score_block=self.score_block

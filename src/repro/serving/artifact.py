@@ -16,13 +16,25 @@ Restoring involves no randomness or retraining, so a loaded system's
 ``predict_scores`` is bitwise identical to the saved one's.  The DDIGCN
 *training* state (encoder weights) is deliberately not stored: serving
 only needs the final embeddings, which travel inside the MD state.
+
+Memory-mapped loading (``load_system(path, mmap_mode="r")``): ``np.savez``
+stores each member of ``arrays.npz`` *uncompressed* — the zip is a
+catalog of contiguous ``.npy`` payloads — so every array can be mapped
+read-only straight out of the file instead of copied into anonymous
+memory.  :func:`load_arrays` parses each member's zip local header and
+npy header to find the data offset and hands back ``np.memmap`` views.
+N worker processes mapping the same artifact share one physical copy of
+the weights through the page cache, which is what makes the pre-fork
+gateway (``repro-serve --workers N``) scale without N× the RSS.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zipfile
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -90,8 +102,100 @@ def save_artifact(system: DSSDDI, path: PathLike) -> Path:
     return path
 
 
-def load_system(path: PathLike) -> DSSDDI:
-    """Rebuild a fitted :class:`repro.core.DSSDDI` from an artifact."""
+def _npy_member_memmap(
+    path: Path, info: zipfile.ZipInfo, zf: zipfile.ZipFile
+) -> Optional[np.ndarray]:
+    """Map one stored ``.npy`` zip member in place; ``None`` = not mappable.
+
+    Not mappable: compressed members (savez_compressed), object dtypes,
+    and 0-d scalars (np.memmap wants a real extent) — the caller falls
+    back to a regular in-memory read for those.
+    """
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    from numpy.lib import format as npy_format
+
+    header_readers = {
+        (1, 0): npy_format.read_array_header_1_0,
+        (2, 0): npy_format.read_array_header_2_0,
+    }
+    with zf.open(info) as member:
+        version = npy_format.read_magic(member)
+        reader = header_readers.get(version)
+        if reader is None:
+            return None
+        shape, fortran, dtype = reader(member)
+        npy_header_size = member.tell()
+    if dtype.hasobject or shape == ():
+        return None
+    # The central directory's header_offset points at the member's zip
+    # *local* header (30 fixed bytes + name + extra); the extra field can
+    # differ from the central directory's, so read the local lengths.
+    with open(path, "rb") as fh:
+        fh.seek(info.header_offset)
+        local = fh.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            return None
+        name_len, extra_len = struct.unpack("<HH", local[26:30])
+    data_offset = info.header_offset + 30 + name_len + extra_len + npy_header_size
+    return np.memmap(
+        path,
+        mode="r",
+        dtype=dtype,
+        shape=shape,
+        offset=data_offset,
+        order="F" if fortran else "C",
+    )
+
+
+def load_arrays(
+    arrays_path: PathLike, mmap_mode: Optional[str] = None
+) -> Dict[str, np.ndarray]:
+    """The ``arrays.npz`` payload as ``name -> ndarray``.
+
+    With ``mmap_mode="r"`` every mappable member comes back as a
+    read-only ``np.memmap`` view into the file (zero copy; the OS page
+    cache shares the physical pages across every process mapping the
+    same artifact).  Members that cannot be mapped — compressed, object
+    dtype, 0-d scalars — are read into memory as usual, so a
+    ``savez_compressed`` artifact still loads, just without the sharing.
+    Only ``"r"`` is supported: artifacts are immutable by contract.
+    """
+    arrays_path = Path(arrays_path)
+    if mmap_mode is None:
+        with np.load(arrays_path) as loaded:
+            return {name: loaded[name] for name in loaded.files}
+    if mmap_mode != "r":
+        raise ValueError(
+            f"artifacts are read-only: mmap_mode must be None or 'r', "
+            f"got {mmap_mode!r}"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    fallbacks = []
+    with zipfile.ZipFile(arrays_path) as zf:
+        for info in zf.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            mapped = _npy_member_memmap(arrays_path, info, zf)
+            if mapped is None:
+                fallbacks.append((name, info.filename))
+            else:
+                arrays[name] = mapped
+    if fallbacks:
+        with np.load(arrays_path) as loaded:
+            for name, _member in fallbacks:
+                arrays[name] = loaded[name]
+    return arrays
+
+
+def load_system(path: PathLike, mmap_mode: Optional[str] = None) -> DSSDDI:
+    """Rebuild a fitted :class:`repro.core.DSSDDI` from an artifact.
+
+    ``mmap_mode="r"`` memory-maps the weight arrays instead of copying
+    them (see :func:`load_arrays`) — the loaded system scores bitwise
+    identically either way.
+    """
     path = Path(path)
     manifest_path = path / MANIFEST_NAME
     arrays_path = path / ARRAYS_NAME
@@ -112,8 +216,7 @@ def load_system(path: PathLike) -> DSSDDI:
     config = DSSDDIConfig.from_dict(manifest["config"])
     config.validate()
 
-    with np.load(arrays_path) as loaded:
-        arrays = {name: loaded[name] for name in loaded.files}
+    arrays = load_arrays(arrays_path, mmap_mode=mmap_mode)
 
     num_drugs = int(manifest["num_drugs"])
     edges = arrays[_EDGES_KEY].reshape(-1, 3)

@@ -111,10 +111,18 @@ class SuggestionService:
 
     @classmethod
     def load(
-        cls, path, config: Optional[ServingConfig] = None
+        cls,
+        path,
+        config: Optional[ServingConfig] = None,
+        mmap_mode: Optional[str] = None,
     ) -> "SuggestionService":
-        """Load a :meth:`repro.core.DSSDDI.save` artifact and serve it."""
-        return cls(DSSDDI.load(path), config=config)
+        """Load a :meth:`repro.core.DSSDDI.save` artifact and serve it.
+
+        ``mmap_mode="r"`` maps the artifact's arrays read-only instead
+        of copying them (scores stay bitwise identical); see
+        :meth:`repro.core.DSSDDI.load`.
+        """
+        return cls(DSSDDI.load(path, mmap_mode=mmap_mode), config=config)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,128 @@
+"""Hot-swap across a multi-worker pool under sustained load.
+
+Each pool worker runs its own registry watcher, so publishing a new
+version must swap *every* worker independently while requests keep
+flowing.  The regression pinned here: publish during ~1k in-flight
+requests against 4 workers, and require
+
+* zero dropped/failed requests across the swap,
+* both versions observed in responses (traffic really spanned it),
+* every worker converged to the new version, and
+* post-swap responses bitwise-identical across workers (the published
+  content is byte-identical, so scores must be too — per worker and
+  per version).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.server import publish_artifact, scan_versions
+
+
+@pytest.fixture
+def private_root(model_root, tmp_path):
+    """A root this test may publish into (model_root is session-shared)."""
+    root = tmp_path / "swap-root"
+    source = scan_versions(model_root)[0].path
+    publish_artifact(source, root)
+    return root
+
+
+class TestHotSwapMultiProcess:
+    def test_publish_under_load_swaps_all_workers_zero_drops(
+        self, pool_factory, fitted_system, private_root, model_root
+    ):
+        _system, x_pool = fitted_system
+        workers = 4
+        pool = pool_factory(
+            workers=workers,
+            root=private_root,
+            extra_args=("--watch-interval", "0.2"),
+        )
+        old_version = scan_versions(private_root)[0].name
+
+        total_requests = 1000
+        sender_count = 8
+        per_sender = total_requests // sender_count
+        results = [[] for _ in range(sender_count)]
+        publish_gate = threading.Event()
+
+        def sender(index):
+            mine = results[index]
+            payload = {
+                "features": [x_pool[index % len(x_pool)].tolist()],
+                "k": 3,
+            }
+            for i in range(per_sender):
+                try:
+                    status, body = pool.post("/v1/suggest", payload, timeout=30.0)
+                except OSError:
+                    status, body = -1, None
+                mine.append((status, body))
+                if i == per_sender // 4:
+                    publish_gate.set()  # traffic is flowing: swap now
+
+        threads = [
+            threading.Thread(target=sender, args=(i,), daemon=True)
+            for i in range(sender_count)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # Publish a byte-identical artifact as a *new* version while the
+        # load runs; every worker's watcher must pick it up.
+        assert publish_gate.wait(timeout=60.0)
+        source = scan_versions(model_root)[0].path
+        new_version = publish_artifact(
+            source, private_root, reuse_identical=False
+        ).name
+        assert new_version != old_version
+
+        for thread in threads:
+            thread.join(timeout=300.0)
+
+        flat = [item for sender_results in results for item in sender_results]
+        assert len(flat) == sender_count * per_sender
+
+        # Zero drops across the swap: every single request answered 200.
+        failed = [(s, b) for s, b in flat if s != 200]
+        assert failed == []
+
+        # The load really spanned the swap: both versions answered.
+        versions_seen = {body["version"] for _status, body in flat}
+        assert versions_seen == {old_version, new_version}
+
+        # Every worker eventually serves the new version (per-worker
+        # watchers are independent; poll /healthz until all converge).
+        converged = {}
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and len(converged) < workers:
+            status, health = pool.get("/healthz")
+            assert status == 200
+            if health["version"] == new_version:
+                converged[health["worker"]["worker"]] = True
+            time.sleep(0.05)
+        assert len(converged) == workers, (
+            f"only workers {sorted(converged)} swapped to {new_version}"
+        )
+
+        # Post-swap responses are bitwise-identical across workers.
+        probe = {
+            "features": [x_pool[0].tolist()],
+            "k": 3,
+            "return_scores": True,
+        }
+        by_worker = {}
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and len(by_worker) < 2:
+            status, body = pool.post("/v1/suggest", probe)
+            assert status == 200
+            assert body["version"] == new_version
+            by_worker[body["worker"]] = body
+        assert len(by_worker) >= 2, "never saw two distinct workers"
+        replies = list(by_worker.values())
+        for other in replies[1:]:
+            assert other["scores"] == replies[0]["scores"]
+            assert other["suggestions"] == replies[0]["suggestions"]

@@ -1,0 +1,256 @@
+"""HTTP parsing hardening: structured 4xx for garbage, gateway survives.
+
+The transport promises: any malformed input — bad JSON, wrong
+content-type, oversize or truncated bodies, invalid Content-Length,
+unknown routes, raw byte noise — earns a *structured* 4xx (a JSON error
+body), never a 5xx and never a wedged handler thread.  A seeded fuzz
+loop (stdlib ``random`` only) hammers those paths, and every test ends
+by proving the gateway still serves normal traffic.
+"""
+
+import http.client
+import json
+import random
+import socket
+
+import pytest
+
+from repro.core import ServerConfig
+from repro.server import GatewayApp, ModelRegistry, build_server, serve_in_thread
+from repro.server.http import MAX_BODY_BYTES
+
+
+def http_json(host, port, method, path, body=None, timeout=15.0, headers=None):
+    """One request on a fresh connection; returns (status, parsed body)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        send_headers = {"Content-Type": "application/json"}
+        if headers:
+            send_headers.update(headers)
+        if body is not None:
+            conn.request(method, path, body=json.dumps(body), headers=send_headers)
+        else:
+            conn.request(method, path)
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            parsed = json.loads(raw)
+        except ValueError:
+            parsed = raw.decode("utf-8", "replace")
+        return response.status, parsed
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def live_gateway(model_root):
+    """A threaded single-process gateway on an ephemeral port."""
+    app = GatewayApp(
+        ModelRegistry(model_root),
+        ServerConfig(max_batch_size=8, max_wait_ms=1.0),
+    )
+    server = build_server(app, port=0)
+    _thread, stop = serve_in_thread(server)
+    host, port = server.server_address[:2]
+    yield app, host, port
+    stop()
+    app.close()
+
+
+def raw_exchange(host, port, data: bytes, timeout=10.0) -> bytes:
+    """Send raw bytes, half-close, read whatever the server answers."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(data)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
+
+
+def _status_of(raw: bytes) -> int:
+    line = raw.split(b"\r\n", 1)[0]
+    parts = line.split()
+    return int(parts[1]) if len(parts) >= 2 and parts[1].isdigit() else -1
+
+
+def assert_gateway_alive(host, port):
+    """The invariant every fuzz case must leave behind."""
+    status, health = http_json(host, port, "GET", "/healthz")
+    assert status == 200 and health["status"] == "ok"
+
+
+class TestStructuredErrors:
+    def test_malformed_json_is_400_with_error_body(self, live_gateway):
+        _app, host, port = live_gateway
+        for garbage in (b"{not json", b"[1, 2", b"\xff\xfe\x00", b"nan nan"):
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            conn.request(
+                "POST", "/v1/suggest", body=garbage,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            conn.close()
+            assert response.status == 400
+            assert "error" in body
+        assert_gateway_alive(host, port)
+
+    def test_wrong_content_type_is_415(self, live_gateway):
+        _app, host, port = live_gateway
+        status, body = http_json(
+            host, port, "POST", "/v1/suggest",
+            body={"features": [[0.0]]},
+            headers={"Content-Type": "text/csv"},
+        )
+        assert status == 415
+        assert "Content-Type" in body["error"]
+        assert_gateway_alive(host, port)
+
+    def test_json_content_type_with_charset_is_accepted(
+        self, live_gateway, fitted_system
+    ):
+        _system, x_pool = fitted_system
+        _app, host, port = live_gateway
+        status, _body = http_json(
+            host, port, "POST", "/v1/suggest",
+            body={"features": [x_pool[0].tolist()], "k": 2},
+            headers={"Content-Type": "application/json; charset=utf-8"},
+        )
+        assert status == 200
+
+    def test_missing_content_type_is_tolerated(self, live_gateway, fitted_system):
+        # Lenient by design: plenty of tools omit the header entirely.
+        _system, x_pool = fitted_system
+        _app, host, port = live_gateway
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request(
+            "POST", "/v1/suggest",
+            body=json.dumps({"features": [x_pool[0].tolist()], "k": 2}),
+            headers={"Content-Type": ""},
+        )
+        response = conn.getresponse()
+        status = response.status
+        response.read()
+        conn.close()
+        assert status == 200
+
+    def test_oversize_body_is_400_not_read(self, live_gateway):
+        _app, host, port = live_gateway
+        # Advertise > MAX_BODY_BYTES; the server must refuse up front
+        # rather than buffer a gigabyte.
+        request = (
+            b"POST /v1/suggest HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        raw = raw_exchange(host, port, request + b"{}")
+        assert _status_of(raw) == 400
+        assert b"too large" in raw
+        assert_gateway_alive(host, port)
+
+    def test_truncated_body_is_400_naming_truncation(self, live_gateway):
+        _app, host, port = live_gateway
+        request = (
+            b"POST /v1/suggest HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 500\r\n\r\n"
+            b'{"features": ['  # 486 bytes never arrive
+        )
+        raw = raw_exchange(host, port, request)
+        assert _status_of(raw) == 400
+        assert b"truncated" in raw
+        assert_gateway_alive(host, port)
+
+    def test_invalid_content_length_is_400(self, live_gateway):
+        _app, host, port = live_gateway
+        for bad in (b"banana", b"-5", b"1e3"):
+            request = (
+                b"POST /v1/suggest HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: " + bad + b"\r\n\r\n"
+            )
+            raw = raw_exchange(host, port, request)
+            assert _status_of(raw) == 400, bad
+        assert_gateway_alive(host, port)
+
+    def test_unknown_routes_are_404(self, live_gateway):
+        _app, host, port = live_gateway
+        status, body = http_json(host, port, "GET", "/v1/nope")
+        assert status == 404 and "no such endpoint" in body["error"]
+        status, body = http_json(host, port, "POST", "/admin", body={})
+        assert status == 404 and "no such endpoint" in body["error"]
+
+
+class TestFuzz:
+    def test_seeded_byte_noise_never_kills_the_gateway(self, live_gateway):
+        """Raw fuzz: random request lines, headers, bodies — no 5xx."""
+        _app, host, port = live_gateway
+        rng = random.Random(0xDD1)
+        methods = [b"POST", b"GET", b"PUT", b"GARBAGE", b"\x01\x02"]
+        paths = [b"/v1/suggest", b"/v1/explain", b"/", b"/%00", b"/../../etc"]
+        for i in range(40):
+            if rng.random() < 0.3:
+                # Pure byte noise — not even an HTTP request line.
+                blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 200)))
+            else:
+                body = bytes(
+                    rng.randrange(256) for _ in range(rng.randrange(0, 64))
+                )
+                headers = b"Host: fuzz\r\n"
+                if rng.random() < 0.8:
+                    headers += b"Content-Length: %d\r\n" % len(body)
+                if rng.random() < 0.5:
+                    headers += b"Content-Type: application/json\r\n"
+                blob = (
+                    rng.choice(methods) + b" " + rng.choice(paths)
+                    + b" HTTP/1.1\r\n" + headers + b"\r\n" + body
+                )
+            try:
+                raw = raw_exchange(host, port, blob, timeout=5.0)
+            except OSError:
+                continue  # server closed on us — allowed, crash is not
+            status = _status_of(raw)
+            # 4xx and the stdlib's 501 (unsupported method) are fine;
+            # an internal 500 means a handler blew up on byte noise.
+            assert status != 500, (i, blob[:60], raw[:120])
+        assert_gateway_alive(host, port)
+
+    def test_seeded_structured_fuzz_of_suggest_bodies(self, live_gateway):
+        """JSON-level fuzz: wrong shapes/types/values earn 400s only."""
+        _app, host, port = live_gateway
+        rng = random.Random(97)
+        nasty_values = [
+            None, {}, [], "features", 12, -1, 1e308, "NaN",
+            [[]], [["a", "b"]], [[None]], [[1e400]],
+            {"nested": "dict"}, [[1.0] * 3], [[float("inf")]],
+        ]
+        for _ in range(40):
+            body = {}
+            if rng.random() < 0.9:
+                body["features"] = rng.choice(nasty_values)
+            if rng.random() < 0.5:
+                body["k"] = rng.choice([0, -3, "three", 10**9, None, 2.5])
+            status, parsed = http_json(
+                host, port, "POST", "/v1/suggest", body=body
+            )
+            assert status in (200, 400), (body, status, parsed)
+            if status == 400:
+                assert "error" in parsed
+        assert_gateway_alive(host, port)
+
+    def test_handler_threads_survive_connection_aborts(self, live_gateway):
+        """Clients that vanish mid-request must not leak broken state."""
+        _app, host, port = live_gateway
+        for _ in range(10):
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.sendall(b"POST /v1/suggest HTTP/1.1\r\nContent-Length: 100\r\n\r\n")
+            sock.close()  # abort before sending the body
+        assert_gateway_alive(host, port)

@@ -1,4 +1,6 @@
-"""Load-generator unit tests (transport wiring, failure fast-paths)."""
+"""Load-generator unit tests (transport wiring, schedules, fast-paths)."""
+
+import json
 
 import numpy as np
 import pytest
@@ -8,9 +10,12 @@ from repro.server import GatewayApp, ModelRegistry
 from repro.server.loadgen import (
     HTTPTarget,
     InprocTarget,
+    burst_schedule,
     make_feature_pool,
     merge_report,
+    poisson_schedule,
     run_load,
+    run_open_loop,
 )
 
 
@@ -50,6 +55,119 @@ class TestRunLoad:
     def test_validates_concurrency(self):
         with pytest.raises(ValueError):
             run_load(InprocTarget(None), make_feature_pool(4), concurrency=0)
+
+
+class TestSchedules:
+    def test_poisson_same_seed_is_bitwise_identical(self):
+        first = poisson_schedule(300.0, 1.5, seed=42)
+        second = poisson_schedule(300.0, 1.5, seed=42)
+        assert np.array_equal(first, second)
+
+    def test_poisson_different_seed_differs(self):
+        assert not np.array_equal(
+            poisson_schedule(300.0, 1.5, seed=1),
+            poisson_schedule(300.0, 1.5, seed=2),
+        )
+
+    def test_poisson_shape_and_rate(self):
+        schedule = poisson_schedule(500.0, 2.0, seed=7)
+        assert (np.diff(schedule) >= 0).all()
+        assert schedule[0] > 0 and schedule[-1] <= 2.0
+        # Poisson count concentrates near rate*duration = 1000.
+        assert 750 < schedule.size < 1250
+
+    def test_poisson_validates_inputs(self):
+        with pytest.raises(ValueError):
+            poisson_schedule(0.0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_schedule(10.0, -1.0)
+
+    def test_burst_same_seed_is_bitwise_identical(self):
+        kwargs = dict(period_s=0.5, burst_fraction=0.2, seed=9)
+        assert np.array_equal(
+            burst_schedule(100.0, 500.0, 2.0, **kwargs),
+            burst_schedule(100.0, 500.0, 2.0, **kwargs),
+        )
+
+    def test_burst_windows_are_denser_than_base(self):
+        schedule = burst_schedule(
+            50.0, 400.0, 4.0, period_s=0.5, burst_fraction=0.25, seed=3
+        )
+        phase = np.mod(schedule, 0.5)
+        in_burst = int((phase < 0.125).sum())
+        outside = int((phase >= 0.125).sum())
+        # Arrival *density* (count / window share) must reflect the
+        # 8x rate ratio, not just the raw counts.
+        assert in_burst / 0.25 > 2.0 * outside / 0.75
+
+    def test_burst_validates_inputs(self):
+        with pytest.raises(ValueError):
+            burst_schedule(0.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            burst_schedule(100.0, 50.0, 1.0)  # peak below base
+        with pytest.raises(ValueError):
+            burst_schedule(10.0, 20.0, 1.0, burst_fraction=1.5)
+
+
+class TestRunOpenLoop:
+    def test_inproc_open_loop_reports_offered_rate(self, model_root):
+        app = GatewayApp(
+            ModelRegistry(model_root),
+            ServerConfig(max_batch_size=8, max_wait_ms=1.0),
+        )
+        try:
+            pool = make_feature_pool(app.registry.active().service.feature_dim)
+            schedule = poisson_schedule(150.0, 0.4, seed=5)
+            report = run_open_loop(
+                InprocTarget(app), pool, schedule, k=3, max_inflight=8
+            )
+        finally:
+            app.close()
+        assert report.mode == "poisson"
+        assert report.errors == 0
+        # Open loop: every scheduled arrival is dispatched, exactly once.
+        assert report.requests == schedule.size
+        assert report.offered_rps == pytest.approx(
+            schedule.size / schedule[-1]
+        )
+        assert 0 < report.p50_ms <= report.p99_ms
+        assert report.duration_s >= schedule[-1]
+
+    def test_open_loop_validates_inputs(self):
+        with pytest.raises(ValueError):
+            run_open_loop(InprocTarget(None), make_feature_pool(4), np.array([]))
+        with pytest.raises(ValueError):
+            run_open_loop(
+                InprocTarget(None),
+                make_feature_pool(4),
+                np.array([0.1]),
+                max_inflight=0,
+            )
+
+    def test_open_loop_merges_into_bench_report(self, model_root, tmp_path):
+        app = GatewayApp(
+            ModelRegistry(model_root),
+            ServerConfig(max_batch_size=8, max_wait_ms=1.0),
+        )
+        try:
+            pool = make_feature_pool(app.registry.active().service.feature_dim)
+            schedule = burst_schedule(
+                60.0, 240.0, 0.4, period_s=0.2, burst_fraction=0.25, seed=11
+            )
+            report = run_open_loop(
+                InprocTarget(app), pool, schedule, mode="burst", max_inflight=8
+            )
+        finally:
+            app.close()
+        path = tmp_path / "BENCH_server.json"
+        merge_report(str(path), "loadgen_closed", {"requests": 10})
+        merge_report(str(path), "loadgen_open_loop", report.to_dict())
+        merged = json.loads(path.read_text())
+        assert set(merged) == {"loadgen_closed", "loadgen_open_loop"}
+        section = merged["loadgen_open_loop"]
+        assert section["mode"] == "burst"
+        assert section["requests"] == schedule.size
+        assert section["offered_rps"] > 0
 
 
 class TestHelpers:

@@ -1,0 +1,138 @@
+"""Memory-mapped artifact loading: shared pages, bitwise equality.
+
+``mmap_mode="r"`` is the foundation of the pre-fork worker pool: N
+worker processes open the same ``arrays.npz`` and the kernel's page
+cache gives them one physical copy of the weights.  These tests pin the
+contract that makes that safe:
+
+* mapped loads score **bitwise identically** to in-memory loads,
+* the big training-set arrays actually stay mapped (no silent copy),
+* everything is read-only,
+* members the in-place mapper cannot handle (compressed, 0-d) fall back
+  to plain copies instead of failing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DSSDDI, DSSDDIConfig
+from repro.data import generate_chronic_cohort, split_patients, standardize_features
+from repro.serving import SuggestionService
+from repro.serving.artifact import ARRAYS_NAME, load_arrays
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    cohort = generate_chronic_cohort(num_patients=120, seed=5)
+    x = standardize_features(cohort.features)
+    split = split_patients(120, seed=1)
+    cfg = DSSDDIConfig.fast()
+    cfg.ddi.epochs = 10
+    cfg.md.epochs = 30
+    system = DSSDDI(cfg)
+    system.fit(x[split.train], cohort.medications[split.train], cohort.ddi)
+    return system, x[split.test]
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(fitted, tmp_path_factory):
+    system, _x_test = fitted
+    path = tmp_path_factory.mktemp("mmap_artifacts") / "model"
+    system.save(path)
+    return path
+
+
+def _memmap_backed(array: np.ndarray) -> bool:
+    """Whether the array's base chain terminates in an np.memmap."""
+    node = array
+    while node is not None:
+        if isinstance(node, np.memmap):
+            return True
+        node = getattr(node, "base", None)
+    return False
+
+
+class TestLoadArrays:
+    def test_mmap_members_match_copies_bitwise(self, artifact_dir):
+        copied = load_arrays(artifact_dir / ARRAYS_NAME)
+        mapped = load_arrays(artifact_dir / ARRAYS_NAME, mmap_mode="r")
+        assert set(copied) == set(mapped)
+        for name in copied:
+            assert np.array_equal(copied[name], mapped[name]), name
+            assert copied[name].dtype == mapped[name].dtype, name
+
+    def test_multidim_members_are_memmaps_and_read_only(self, artifact_dir):
+        mapped = load_arrays(artifact_dir / ARRAYS_NAME, mmap_mode="r")
+        memmapped = [n for n, a in mapped.items() if _memmap_backed(a)]
+        # np.savez stores uncompressed: every >=1-D member must map.
+        assert memmapped, "no member was memory-mapped"
+        for name in memmapped:
+            assert not mapped[name].flags.writeable, name
+            with pytest.raises((ValueError, OSError)):
+                mapped[name][(0,) * mapped[name].ndim] = 0.0
+
+    def test_rejects_writable_mmap_modes(self, artifact_dir):
+        for bad in ("r+", "w+", "c"):
+            with pytest.raises(ValueError, match="read-only"):
+                load_arrays(artifact_dir / ARRAYS_NAME, mmap_mode=bad)
+
+    def test_compressed_npz_falls_back_to_copies(self, tmp_path):
+        path = tmp_path / "compressed.npz"
+        data = {"a": np.arange(12.0).reshape(3, 4), "b": np.ones(5)}
+        np.savez_compressed(path, **data)
+        loaded = load_arrays(path, mmap_mode="r")
+        for name, expected in data.items():
+            assert np.array_equal(loaded[name], expected)
+            assert not _memmap_backed(loaded[name])
+
+    def test_zero_dim_members_fall_back(self, tmp_path):
+        path = tmp_path / "scalars.npz"
+        np.savez(path, scalar=np.float64(3.5), matrix=np.eye(3))
+        loaded = load_arrays(path, mmap_mode="r")
+        assert loaded["scalar"] == pytest.approx(3.5)
+        assert _memmap_backed(loaded["matrix"])
+
+    def test_fortran_order_preserved(self, tmp_path):
+        path = tmp_path / "fortran.npz"
+        f_ordered = np.asfortranarray(np.arange(6.0).reshape(2, 3))
+        np.savez(path, f=f_ordered)
+        loaded = load_arrays(path, mmap_mode="r")["f"]
+        assert loaded.flags.f_contiguous
+        assert np.array_equal(loaded, f_ordered)
+
+
+class TestMmapSystem:
+    def test_scores_bitwise_equal_to_copy_load(self, fitted, artifact_dir):
+        system, x_test = fitted
+        mapped = DSSDDI.load(artifact_dir, mmap_mode="r")
+        copied = DSSDDI.load(artifact_dir)
+        expected = system.predict_scores(x_test)
+        assert np.array_equal(mapped.predict_scores(x_test), expected)
+        assert np.array_equal(copied.predict_scores(x_test), expected)
+        assert mapped.suggest(x_test[:4], k=3) == system.suggest(x_test[:4], k=3)
+
+    def test_big_arrays_stay_mapped_not_copied(self, artifact_dir):
+        # The point of mmap_mode is memory: the training-set matrices
+        # (the artifact's bulk) must remain views over the file, not
+        # silently degrade into private copies during from_state.
+        mapped = DSSDDI.load(artifact_dir, mmap_mode="r")
+        md = mapped.md_module
+        for name in ("_x_train", "_treatment", "_z_drugs"):
+            assert _memmap_backed(getattr(md, name)), name
+
+    def test_service_load_with_mmap(self, fitted, artifact_dir):
+        _system, x_test = fitted
+        mapped = SuggestionService.load(artifact_dir, mmap_mode="r")
+        copied = SuggestionService.load(artifact_dir)
+        assert np.array_equal(
+            mapped.predict_scores(x_test), copied.predict_scores(x_test)
+        )
+        assert np.array_equal(
+            mapped.suggest(x_test[:8], k=3), copied.suggest(x_test[:8], k=3)
+        )
+
+    def test_explanations_survive_mmap(self, artifact_dir):
+        mapped = DSSDDI.load(artifact_dir, mmap_mode="r")
+        copied = DSSDDI.load(artifact_dir)
+        suggestion = copied.suggest(np.zeros(copied.md_module._x_train.shape[1]), k=3)[0]
+        assert mapped.explain(suggestion).render() == copied.explain(suggestion).render()
