@@ -218,6 +218,20 @@ class ServerConfig(_SerializableConfig):
         stats_interval_s: how often each pool worker publishes its
             counter snapshot to the shared stats board (``/metrics``
             aggregation across workers).
+        deadline_ms: per-request time budget covering queue wait plus
+            scoring.  A request whose budget runs out is answered 503
+            with a ``Retry-After`` hint instead of holding a connection
+            open for work whose caller has given up (0 disables; a
+            request body may lower — never raise — its own budget).
+        queue_limit: admission control — when this many patient rows
+            are already queued in the micro-batcher, new requests are
+            shed with 503 instead of growing the queue without bound
+            (0 = unbounded, the pre-deadline behavior).
+        breaker_threshold: consecutive scoring failures that trip the
+            circuit breaker into degraded mode (0 disables the
+            breaker).
+        breaker_cooldown_s: seconds the tripped breaker rejects
+            requests before letting one probe through.
     """
 
     host: str = "127.0.0.1"
@@ -234,6 +248,10 @@ class ServerConfig(_SerializableConfig):
     mmap_artifacts: Optional[bool] = None
     drain_timeout_s: float = 10.0
     stats_interval_s: float = 1.0
+    deadline_ms: float = 0.0
+    queue_limit: int = 0
+    breaker_threshold: int = 0
+    breaker_cooldown_s: float = 2.0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on out-of-range gateway knobs."""
@@ -259,6 +277,14 @@ class ServerConfig(_SerializableConfig):
             raise ValueError("drain_timeout_s must be > 0")
         if self.stats_interval_s <= 0:
             raise ValueError("stats_interval_s must be > 0")
+        if self.deadline_ms < 0:
+            raise ValueError("deadline_ms must be >= 0 (0 = no deadline)")
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0 (0 = unbounded)")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0 (0 = off)")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be > 0")
 
 
 @dataclass

@@ -222,7 +222,7 @@ class DSSDDI:
         save_artifact(self, path)
 
     @classmethod
-    def load(cls, path, mmap_mode=None) -> "DSSDDI":
+    def load(cls, path, mmap_mode=None, verify=True) -> "DSSDDI":
         """Rebuild a fitted system from a :meth:`save` artifact.
 
         The restored system's :meth:`predict_scores` is bitwise identical
@@ -231,10 +231,14 @@ class DSSDDI:
         copying them — processes loading the same artifact then share
         one physical copy of the weights through the page cache (this is
         how ``repro-serve --workers N`` keeps N workers at ~1x RSS).
+        ``verify`` (default on) checks the stored arrays against the
+        manifest's SHA-256 digests and raises
+        :class:`repro.serving.artifact.ArtifactIntegrityError` if the
+        artifact was corrupted after saving.
         """
         from ..serving.artifact import load_system
 
-        return load_system(path, mmap_mode=mmap_mode)
+        return load_system(path, mmap_mode=mmap_mode, verify=verify)
 
     @classmethod
     def _from_artifact(

@@ -25,9 +25,15 @@ Serializers (chosen per stage in :class:`repro.pipeline.StageSpec`):
 * ``json`` — any plain-JSON value.
 * ``pickle`` — the fallback for result dataclasses.
 
-Writes are atomic (temp directory + ``os.replace``), so concurrent
-workers racing on the same key at worst do duplicate work, never leave a
-half-written entry.
+Writes are atomic and durable (temp directory + per-file fsync +
+``os.replace`` — the :mod:`repro.atomicio` idiom, instrumented with
+``cache.store.*`` :mod:`repro.chaos` failpoints), so concurrent workers
+racing on the same key at worst do duplicate work, never leave a
+half-written entry, and a process killed mid-store leaves only a
+dot-prefixed orphan that the next store sweeps away.  Deletion
+(``clear``/``prune``) renames entries to a dot-prefixed trash name
+before removing them, so a concurrent reader sees every entry either
+complete or absent — never half-deleted.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import atomicio, chaos
 from .registry import StageSpec
 
 PathLike = Union[str, Path]
@@ -115,8 +122,8 @@ def _save_npz(value: Any, directory: Path) -> None:
         raise TypeError(f"npz serializer needs a dict of arrays, got {type(value)!r}")
     keys = list(value)  # insertion order is display order downstream
     safe = {f"a{i}": np.asarray(value[k]) for i, k in enumerate(keys)}
-    np.savez(directory / _NPZ_NAME, **safe)
-    with open(directory / _NPZ_KEYS_NAME, "w", encoding="utf-8") as fh:
+    np.savez(directory / _NPZ_NAME, **safe)  # lint: staged-write
+    with open(directory / _NPZ_KEYS_NAME, "w", encoding="utf-8") as fh:  # lint: staged-write
         json.dump(keys, fh)
 
 
@@ -128,7 +135,7 @@ def _load_npz(directory: Path) -> Dict[str, np.ndarray]:
 
 
 def _save_json(value: Any, directory: Path) -> None:
-    with open(directory / _JSON_NAME, "w", encoding="utf-8") as fh:
+    with open(directory / _JSON_NAME, "w", encoding="utf-8") as fh:  # lint: staged-write
         json.dump(value, fh, indent=2, sort_keys=True)
 
 
@@ -138,7 +145,7 @@ def _load_json(directory: Path) -> Any:
 
 
 def _save_pickle(value: Any, directory: Path) -> None:
-    with open(directory / _PICKLE_NAME, "wb") as fh:
+    with open(directory / _PICKLE_NAME, "wb") as fh:  # lint: staged-write
         pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
 
 
@@ -163,6 +170,10 @@ def _digest_dir(directory: Path) -> str:
             h.update(str(path.relative_to(directory)).encode("utf-8"))
             h.update(path.read_bytes())
     return h.hexdigest()
+
+
+class CacheIntegrityError(RuntimeError):
+    """A cache entry's payload no longer matches its recorded digest."""
 
 
 @dataclass
@@ -196,16 +207,47 @@ class StageCache:
         """Whether a complete entry for ``key`` is on disk."""
         return (self._entry_dir(key) / META_NAME).is_file()
 
-    def load(self, key: str) -> Tuple[Any, CacheEntry]:
-        """Deserialize the entry for ``key`` (raises ``KeyError`` if absent)."""
+    def load(self, key: str, verify: bool = False) -> Tuple[Any, CacheEntry]:
+        """Deserialize the entry for ``key`` (raises ``KeyError`` if absent).
+
+        ``verify=True`` re-hashes the payload files and compares against
+        the digest recorded at store time, raising
+        :class:`CacheIntegrityError` on mismatch — the defense against a
+        torn or bit-rotted entry written by a pre-atomic-write version
+        (or a failing disk).  An entry that vanishes mid-load (a
+        concurrent ``prune``/``clear`` renamed it away) raises
+        ``KeyError``, the same as never having existed — callers already
+        handle a miss by recomputing.
+        """
         entry_dir = self._entry_dir(key)
         meta_path = entry_dir / META_NAME
-        if not meta_path.is_file():
-            raise KeyError(f"no cache entry for key {key!r}")
-        with open(meta_path, "r", encoding="utf-8") as fh:
-            meta = json.load(fh)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except FileNotFoundError:
+            raise KeyError(f"no cache entry for key {key!r}") from None
+        if verify:
+            try:
+                actual = _digest_dir(entry_dir)
+            except FileNotFoundError:
+                # A listed payload file vanished before it could be read:
+                # the entry was renamed away (prune/clear) mid-digest.
+                raise KeyError(f"cache entry {key!r} removed mid-load") from None
+            if actual != meta["digest"]:
+                if not meta_path.is_file():
+                    # The entry was renamed away (prune/clear) between
+                    # the meta read and the digest pass: that is a clean
+                    # miss, not corruption.
+                    raise KeyError(f"cache entry {key!r} removed mid-load")
+                raise CacheIntegrityError(
+                    f"cache entry {key!r} is corrupt: digest {actual[:12]} != "
+                    f"recorded {meta['digest'][:12]}"
+                )
         _, load = _SERIALIZERS[meta["serializer"]]
-        value = load(entry_dir)
+        try:
+            value = load(entry_dir)
+        except FileNotFoundError:
+            raise KeyError(f"cache entry {key!r} removed mid-load") from None
         return value, CacheEntry(
             key=key,
             stage=meta["stage"],
@@ -225,11 +267,17 @@ class StageCache:
             raise ValueError(f"unknown serializer {serializer!r}")
         save, _ = _SERIALIZERS[serializer]
         self.stages_dir.mkdir(parents=True, exist_ok=True)
+        # Reclaim temp/trash orphans a killed predecessor left behind —
+        # the startup-sweep half of the atomic-write idiom.  Store runs
+        # only on cache misses, so the extra globs are off the hot path.
+        atomicio.sweep_orphans(self.stages_dir)
         tmp = Path(
             tempfile.mkdtemp(prefix=f".tmp-{key[:8]}-", dir=self.stages_dir)
         )
         try:
+            chaos.failpoint("cache.store.setup")
             save(value, tmp)
+            chaos.failpoint("cache.store.payload")
             digest = _digest_dir(tmp)
             size = sum(p.stat().st_size for p in tmp.rglob("*") if p.is_file())
             meta = {
@@ -239,9 +287,14 @@ class StageCache:
                 "created_at": time.time(),
                 "size_bytes": size,
             }
-            with open(tmp / META_NAME, "w", encoding="utf-8") as fh:
+            with open(tmp / META_NAME, "w", encoding="utf-8") as fh:  # lint: staged-write
                 json.dump(meta, fh, indent=2)
+            # Durability before visibility: the rename must never
+            # publish bytes still sitting only in the page cache.
+            if chaos.fsync_enabled("cache.store.fsync"):
+                atomicio.fsync_tree(tmp)
             final = self._entry_dir(key)
+            chaos.failpoint("cache.store.rename")
             try:
                 os.replace(tmp, final)
             except OSError:
@@ -253,14 +306,17 @@ class StageCache:
                     raise
                 # A complete entry already exists — a racing writer's
                 # equivalent payload, or a stale entry being refreshed
-                # under --force.  Replace it so the returned metadata
-                # always describes what is actually on disk.
-                shutil.rmtree(final, ignore_errors=True)
+                # under --force.  Replace it (rename-to-trash first, so a
+                # concurrent reader never sees a half-deleted entry) and
+                # return metadata describing what is actually on disk.
+                atomicio.remove_dir(final)
                 try:
                     os.replace(tmp, final)
                 except OSError:
                     shutil.rmtree(tmp, ignore_errors=True)
                     raise
+            chaos.failpoint("cache.store.after")
+            atomicio.fsync_dir(self.stages_dir)
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
             raise
@@ -279,11 +335,17 @@ class StageCache:
         if not self.stages_dir.is_dir():
             return result
         for entry_dir in sorted(self.stages_dir.iterdir()):
-            meta_path = entry_dir / META_NAME
-            if not meta_path.is_file():
+            # Dot-prefixed siblings are in-flight temps or trash staged
+            # for deletion — they may hold a complete-looking payload
+            # (including a meta.json) but are not committed entries.
+            if entry_dir.name.startswith("."):
                 continue
-            with open(meta_path, "r", encoding="utf-8") as fh:
-                meta = json.load(fh)
+            meta_path = entry_dir / META_NAME
+            try:
+                with open(meta_path, "r", encoding="utf-8") as fh:
+                    meta = json.load(fh)
+            except (FileNotFoundError, ValueError):
+                continue  # incomplete or vanishing entry: not listable
             result.append(
                 CacheEntry(
                     key=entry_dir.name,
@@ -308,13 +370,22 @@ class StageCache:
 
     def clear(self) -> int:
         """Delete every cached stage output (and training checkpoint);
-        returns the count of stage entries removed."""
+        returns the count of stage entries removed.
+
+        Deletion is rename-to-trash then remove
+        (:func:`repro.atomicio.remove_dir`): a reader racing this call
+        sees each entry either complete or absent — never a directory
+        whose ``meta.json`` still exists but whose payload is already
+        gone, which a later ``contains``/``load`` would treat as a hit
+        and then crash on.
+        """
         count = 0
         if self.stages_dir.is_dir():
             for entry_dir in self.stages_dir.iterdir():
-                if entry_dir.is_dir():
-                    shutil.rmtree(entry_dir, ignore_errors=True)
-                    count += 1
+                if entry_dir.is_dir() and not entry_dir.name.startswith("."):
+                    if atomicio.remove_dir(entry_dir):
+                        count += 1
+            atomicio.sweep_orphans(self.stages_dir)
         shutil.rmtree(self.checkpoints_dir, ignore_errors=True)
         return count
 
@@ -340,7 +411,11 @@ class StageCache:
             if kept < keep_last:
                 kept_per_stage[entry.stage] = kept + 1
                 continue
-            shutil.rmtree(self._entry_dir(entry.key), ignore_errors=True)
+            # Rename-to-trash first (see clear): a concurrent reader of
+            # this entry gets a clean miss, never a half-deleted hit.
+            atomicio.remove_dir(self._entry_dir(entry.key))
             shutil.rmtree(self.checkpoints_dir / entry.key, ignore_errors=True)
             removed.append(entry)
+        if removed:
+            atomicio.sweep_orphans(self.stages_dir)
         return removed

@@ -120,13 +120,26 @@ class RunManifest:
         return cls(stages=stages, **data)
 
     def save(self, runs_dir: PathLike) -> Path:
-        """Write ``<runs_dir>/<run_id>.json``; returns the path."""
+        """Write ``<runs_dir>/<run_id>.json`` crash-safely; returns the path.
+
+        Manifests are the audit trail of a run — a half-written one
+        would poison ``load_manifests`` for every later ``repro
+        report``, so the write goes through the shared atomic idiom
+        (:func:`repro.atomicio.atomic_write_json`, site
+        ``manifest.write``).
+        """
+        from .. import atomicio
+
         runs_dir = Path(runs_dir)
         runs_dir.mkdir(parents=True, exist_ok=True)
-        path = runs_dir / f"{self.run_id}.json"
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
-        return path
+        atomicio.sweep_orphans(runs_dir)
+        return atomicio.atomic_write_json(
+            runs_dir / f"{self.run_id}.json",
+            self.to_dict(),
+            site="manifest.write",
+            indent=2,
+            sort_keys=True,
+        )
 
     @classmethod
     def load(cls, path: PathLike) -> "RunManifest":

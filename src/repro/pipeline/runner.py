@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from itertools import count
 
+from .. import atomicio
 from .cache import StageCache, default_cache_dir, stage_key
 from .manifest import RunManifest, StageRecord
 from .registry import (
@@ -297,8 +298,9 @@ def run_experiment(
         runs_dir = config.resolved_runs_dir()
         manifest.save(runs_dir)
         rendered = render_result(spec, result)
-        with open(runs_dir / f"{run_id}.txt", "w", encoding="utf-8") as fh:
-            fh.write(rendered + "\n")
+        atomicio.atomic_write_text(
+            runs_dir / f"{run_id}.txt", rendered + "\n", site="manifest.write"
+        )
     return result, manifest
 
 

@@ -13,7 +13,10 @@ request, and exposes Prometheus metrics.
 * :mod:`repro.server.metrics` — request counters, latency reservoir
   percentiles, batch-size histogram, Prometheus text rendering.
 * :mod:`repro.server.app` — :class:`GatewayApp`, the
-  transport-independent request handlers.
+  transport-independent request handlers (deadline budgets, admission
+  control, degraded mode).
+* :mod:`repro.server.resilience` — :class:`CircuitBreaker` around the
+  scoring path plus the jittered retry backoff the load generator uses.
 * :mod:`repro.server.http` — the stdlib threaded HTTP shim (with
   inherited-socket support and graceful-drain request tracking).
 * :mod:`repro.server.pool` — the pre-fork worker pool: one shared
@@ -47,6 +50,7 @@ from .batcher import BatcherClosed, MicroBatcher, SubmitTimeout
 from .http import RequestTracker, build_server, serve_in_thread
 from .metrics import BatchSizeHistogram, CounterSet, GatewayMetrics, LatencyReservoir
 from .pool import WorkerSupervisor, backoff_delay, create_listen_socket, worker_main
+from .resilience import CircuitBreaker
 from .stats import StatsBoard, read_pool_state, write_pool_state
 from .registry import (
     ModelRegistry,
@@ -77,6 +81,7 @@ __all__ = [
     "worker_main",
     "create_listen_socket",
     "backoff_delay",
+    "CircuitBreaker",
     "StatsBoard",
     "read_pool_state",
     "write_pool_state",

@@ -37,11 +37,13 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import chaos
 from ..core.config import ServerConfig
 from ..core.ms_module import Explanation
 from .batcher import BatcherClosed, MicroBatcher, SubmitTimeout
 from .metrics import GatewayMetrics
 from .registry import ModelRegistry, NoModelError, ServingHandle, watch
+from .resilience import CLOSED, CircuitBreaker
 
 
 class RequestError(ValueError):
@@ -133,6 +135,20 @@ class GatewayApp:
             registry.score_block = self.config.score_block
         self.metrics = GatewayMetrics(self.config.latency_reservoir)
         self.started_at = time.monotonic()
+        #: Circuit breaker around the scoring path; ``None`` when
+        #: ``breaker_threshold`` is 0 (disabled).
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+            )
+            if self.config.breaker_threshold > 0
+            else None
+        )
+        #: Set by the pool's worker drain path: /healthz answers 503
+        #: "draining" so load balancers stop routing here while in-flight
+        #: requests finish.
+        self.draining = False
         #: Set by the pre-fork pool's worker_main: {"worker", "pid",
         #: "mmap"}.  None in the single-process gateway.
         self.worker_info: Optional[Dict[str, Any]] = None
@@ -173,7 +189,22 @@ class GatewayApp:
         """
         handle = self.registry.active()
         service = handle.service
-        scores = service.predict_scores(stacked)
+        try:
+            # ``gateway.score`` is the chaos harness's hook into the hot
+            # path: an ``err`` rule simulates a broken model (feeds the
+            # breaker), a ``sleep`` rule injects scoring latency (feeds
+            # the deadline tests).
+            chaos.failpoint("gateway.score")
+            scores = service.predict_scores(stacked)
+        except Exception:
+            # One flush failure is one scoring failure, however many
+            # requests were coalesced into it — record it here, not per
+            # request, so the breaker threshold means what it says.
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
         distinct_k = {k if k is not None else service.config.default_k
                       for _rows, k in items}
         topk = {k: service.topk_from_scores(scores, k) for k in distinct_k}
@@ -208,7 +239,40 @@ class GatewayApp:
         )
         return status, response
 
+    def _deadline_s(self, body: Dict[str, Any]) -> Optional[float]:
+        """Effective time budget in seconds for this request, or None.
+
+        The deployment's ``deadline_ms`` is the ceiling; a request body
+        may carry its own (smaller) ``deadline_ms`` — a client that will
+        give up in 50 ms gains nothing from the server working for 200.
+        """
+        config_ms = self.config.deadline_ms or None
+        body_ms = body.get("deadline_ms")
+        if body_ms is not None:
+            try:
+                body_ms = float(body_ms)
+            except (TypeError, ValueError):
+                raise RequestError("deadline_ms must be a number") from None
+            if body_ms <= 0:
+                raise RequestError("deadline_ms must be > 0")
+            if config_ms is not None:
+                body_ms = min(body_ms, config_ms)
+            return body_ms / 1000.0
+        return config_ms / 1000.0 if config_ms is not None else None
+
+    def _shed(
+        self, reason: str, error: str, retry_after_s: float
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One load-shedding 503: count it, attach the retry hint."""
+        self.metrics.counters.inc("repro_server_shed_total", {"reason": reason})
+        return 503, {
+            "error": error,
+            "shed": reason,
+            "retry_after_s": round(max(retry_after_s, 0.001), 3),
+        }
+
     def _suggest_inner(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        started = time.monotonic()
         try:
             handle = self.registry.active()
         except NoModelError as exc:
@@ -228,24 +292,80 @@ class GatewayApp:
                         f"k must be in [1, {service.num_drugs}], got {k}"
                     )
             return_scores = bool(body.get("return_scores", False))
+            deadline_s = self._deadline_s(body)
         except RequestError as exc:
             return 400, {"error": str(exc)}
+        if self.breaker is not None and not self.breaker.allow():
+            return self._shed(
+                "breaker",
+                "scoring circuit open: gateway is in degraded mode",
+                self.breaker.retry_after(),
+            )
+        limit = self.config.queue_limit
+        if limit and self.batcher.queue_depth >= limit:
+            # Admission control: beyond the limit, every queued row only
+            # adds latency for everyone — shed now, retry after roughly
+            # one flush interval.
+            return self._shed(
+                "queue_full",
+                f"admission queue full ({self.batcher.queue_depth} rows "
+                f">= queue_limit={limit})",
+                max(0.05, self.config.max_wait_ms / 1000.0),
+            )
+        timeout = self.config.submit_timeout_s
+        if deadline_s is not None:
+            remaining = deadline_s - (time.monotonic() - started)
+            if remaining <= 0:
+                return self._shed(
+                    "deadline",
+                    f"deadline of {deadline_s * 1000:.0f} ms expired before "
+                    f"scoring started",
+                    deadline_s,
+                )
+            timeout = min(timeout, remaining)
         try:
             (scores, suggestions), flushed_by = self.batcher.submit(
-                x, meta=k, timeout=self.config.submit_timeout_s
+                x, meta=k, timeout=timeout
             )
         except SubmitTimeout as exc:
-            return 503, {"error": f"batch timeout: {exc}"}
+            if deadline_s is not None and timeout < self.config.submit_timeout_s:
+                return self._shed(
+                    "deadline",
+                    f"deadline of {deadline_s * 1000:.0f} ms expired in the "
+                    f"batch queue: {exc}",
+                    deadline_s,
+                )
+            return 503, {"error": f"batch timeout: {exc}", "retry_after_s": 1.0}
         except BatcherClosed:
-            return 503, {"error": "gateway is shutting down"}
+            return 503, {"error": "gateway is shutting down", "retry_after_s": 1.0}
         except NoModelError as exc:
             return 503, {"error": str(exc)}
         except Exception as exc:
-            # A flush blew up (e.g. a hot-swap to a model with a
-            # different feature width invalidated queued requests).
-            # The batch is poisoned but the gateway is fine — answer
-            # 500 and let the client retry against the new model.
-            return 500, {"error": f"scoring failed: {type(exc).__name__}: {exc}"}
+            # A flush blew up (a broken model, an injected fault, a
+            # hot-swap to a different feature width invalidating queued
+            # requests).  The batch is poisoned but the gateway is fine
+            # — this is a *service-unavailable* condition, not a server
+            # bug: answer 503 with a retry hint (the breaker, fed inside
+            # the flush, decides whether the next attempt is even let
+            # through) so a well-behaved client backs off and retries.
+            self.metrics.counters.inc("repro_server_scoring_failures_total")
+            retry_after = (
+                self.breaker.retry_after() if self.breaker is not None else 0.1
+            )
+            return 503, {
+                "error": f"scoring failed: {type(exc).__name__}: {exc}",
+                "retry_after_s": round(max(retry_after, 0.001), 3),
+            }
+        if deadline_s is not None and time.monotonic() - started > deadline_s:
+            # The result exists but arrived past the budget: the caller
+            # has (by contract) already given up, so the honest answer
+            # is the deadline 503, not a response nobody is reading.
+            return self._shed(
+                "deadline",
+                f"deadline of {deadline_s * 1000:.0f} ms expired during "
+                f"scoring",
+                deadline_s,
+            )
         response: Dict[str, Any] = {
             "suggestions": suggestions.tolist(),
             "k": int(suggestions.shape[1]),
@@ -291,14 +411,37 @@ class GatewayApp:
         response["version"] = handle.version.name
         return 200, response
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the scoring circuit is currently open or probing."""
+        return self.breaker is not None and self.breaker.state != CLOSED
+
     def healthz(self) -> Tuple[int, Dict[str, Any]]:
-        """``GET /healthz``: liveness plus the served model's identity."""
+        """``GET /healthz``: deep health, not just liveness.
+
+        Status ladder (each state implies the ones below are moot):
+
+        * ``draining`` (503) — the worker is shutting down; stop routing
+          here, in-flight requests still get answers.
+        * ``no_model`` (503) — nothing loadable to serve.
+        * ``degraded`` (200) — serving, but the scoring breaker is open
+          or probing: expect 503s with ``Retry-After`` on suggest.
+        * ``ok`` (200) — serving normally.
+        """
         base: Dict[str, Any] = {
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "queue_depth": self.batcher.queue_depth,
         }
         if self.worker_info is not None:
             base["worker"] = dict(self.worker_info)
+        if self.breaker is not None:
+            base["breaker"] = self.breaker.state
+        quarantined = self.registry.quarantined
+        if quarantined:
+            base["quarantined"] = sorted(quarantined)
+        if self.draining:
+            base["status"] = "draining"
+            return 503, base
         try:
             handle = self.registry.active()
         except NoModelError as exc:
@@ -306,7 +449,7 @@ class GatewayApp:
             return 503, base
         base.update(
             {
-                "status": "ok",
+                "status": "degraded" if self.degraded else "ok",
                 "version": handle.version.name,
                 "feature_dim": handle.service.feature_dim,
                 "num_drugs": handle.service.num_drugs,
@@ -370,7 +513,29 @@ class GatewayApp:
                 {},
                 float(self.registry.reload_errors),
             ),
+            (
+                "repro_server_quarantined_versions",
+                {},
+                float(len(self.registry.quarantined)),
+            ),
+            ("repro_server_degraded", {}, 1.0 if self.degraded else 0.0),
+            ("repro_server_draining", {}, 1.0 if self.draining else 0.0),
         ]
+        if self.breaker is not None:
+            gauges.extend(
+                [
+                    (
+                        "repro_server_breaker_opens_total",
+                        {},
+                        float(self.breaker.opens),
+                    ),
+                    (
+                        "repro_server_breaker_rejections_total",
+                        {},
+                        float(self.breaker.rejections),
+                    ),
+                ]
+            )
         if self.registry.has_model:
             handle = self.registry.active()
             stats = handle.service.stats()

@@ -109,6 +109,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request cap on patient rows",
     )
     parser.add_argument(
+        "--deadline-ms", type=float, default=defaults.deadline_ms,
+        help="per-request time budget (queue wait + scoring) in "
+        "milliseconds; expired requests get 503 + Retry-After "
+        "(0 disables)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=defaults.queue_limit,
+        help="shed new requests with 503 once this many patient rows are "
+        "queued in the micro-batcher (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=defaults.breaker_threshold,
+        help="consecutive scoring failures that trip the circuit breaker "
+        "into degraded mode (0 disables the breaker)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=defaults.breaker_cooldown_s,
+        help="seconds a tripped breaker rejects requests before probing "
+        "the scoring path again",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
@@ -129,6 +150,10 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         max_request_rows=args.max_request_rows,
         pinned_version=args.pinned_version,
         watch_interval_s=args.watch_interval,
+        deadline_ms=args.deadline_ms,
+        queue_limit=args.queue_limit,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
     config.validate()
     return config

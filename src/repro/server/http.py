@@ -212,17 +212,31 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         raw = json.dumps(payload).encode("utf-8")
-        self._send_bytes(status, raw, "application/json")
+        headers = None
+        if status in (429, 503) and "retry_after_s" in payload:
+            # The app layer picks the hint (breaker cooldown remaining,
+            # deadline headroom); the transport promotes it to the
+            # standard header so plain HTTP clients can honor it.
+            headers = {"Retry-After": str(payload["retry_after_s"])}
+        self._send_bytes(status, raw, "application/json", headers)
 
     def _send_text(self, status: int, text: str) -> None:
         self._send_bytes(
             status, text.encode("utf-8"), "text/plain; version=0.0.4"
         )
 
-    def _send_bytes(self, status: int, raw: bytes, content_type: str) -> None:
+    def _send_bytes(
+        self,
+        status: int,
+        raw: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(raw)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(raw)
 

@@ -43,18 +43,83 @@ import argparse
 import http.client
 import json
 import queue
+import random
 import socket
 import sys
 import threading
 import time
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
 import numpy as np
 
+from .resilience import backoff_delay
+
 #: Where the bench report lands unless --output overrides it.
 DEFAULT_REPORT = "BENCH_server.json"
+
+#: Statuses worth retrying: transport failure, throttled, unavailable.
+#: 503 carries the gateway's Retry-After hint (shed queue, open breaker,
+#: expired deadline) — exactly the answers that mean "come back shortly".
+RETRYABLE_STATUSES = frozenset({-1, 429, 503})
+
+
+@dataclass
+class RetryPolicy:
+    """Client-side retry schedule for shed/unavailable responses.
+
+    ``retries`` extra attempts per request, spaced by seeded
+    full-jitter exponential backoff (:func:`repro.server.resilience.
+    backoff_delay`) that never undercuts a server ``Retry-After`` hint.
+    ``None`` (the default everywhere) keeps the old fire-once behavior.
+    """
+
+    retries: int = 2
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 5.0
+
+
+def _request_with_hint(conn, payload) -> Tuple[int, Optional[float]]:
+    """(status, server retry hint in seconds) from one request."""
+    fn = getattr(conn, "request_with_hint", None)
+    if fn is not None:
+        return fn(payload)
+    return conn.request(payload), None
+
+
+def send_with_retries(
+    conn,
+    payload: Dict[str, Any],
+    policy: Optional[RetryPolicy],
+    rng: random.Random,
+) -> Tuple[int, int]:
+    """One logical request under ``policy``; returns (status, retries used).
+
+    Retries only :data:`RETRYABLE_STATUSES`; client errors (4xx) and
+    successes return immediately.  The recorded latency of a retried
+    request spans every attempt *including* the backoff sleeps — from
+    the caller's point of view that is what the request cost.
+    """
+    attempts = 0
+    while True:
+        status, hint = _request_with_hint(conn, payload)
+        if (
+            policy is None
+            or status not in RETRYABLE_STATUSES
+            or attempts >= policy.retries
+        ):
+            return status, attempts
+        delay = backoff_delay(
+            attempts,
+            policy.backoff_s,
+            rng,
+            cap_s=policy.backoff_cap_s,
+            retry_after_s=hint,
+        )
+        if delay > 0:
+            time.sleep(delay)
+        attempts += 1
 
 
 @dataclass
@@ -74,6 +139,10 @@ class LoadReport:
             (``"poisson"``/``"burst"``).
         offered_rps: scheduled arrival rate of an open-loop run (0 for
             closed-loop, where the load adapts to the service rate).
+        retries: extra attempts spent on retryable (503/429/transport)
+            responses across the whole run (0 without a
+            :class:`RetryPolicy`).  ``errors`` counts only requests
+            whose *final* attempt still failed.
     """
 
     requests: int
@@ -88,6 +157,7 @@ class LoadReport:
     mean_batch_rows: float = 0.0
     mode: str = "closed"
     offered_rps: float = 0.0
+    retries: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation."""
@@ -108,6 +178,14 @@ class InprocTarget:
         """One suggest call; returns the HTTP-equivalent status code."""
         status, _body = self.app.suggest(payload)
         return status
+
+    def request_with_hint(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[int, Optional[float]]:
+        """One suggest call plus the body's ``retry_after_s`` hint."""
+        status, body = self.app.suggest(payload)
+        hint = body.get("retry_after_s") if isinstance(body, dict) else None
+        return status, hint
 
     def batch_stats(self) -> float:
         """Mean rows per flush from the app's batch histogram."""
@@ -154,6 +232,12 @@ class _HTTPWorkerConnection:
 
     def request(self, payload: Dict[str, Any]) -> int:
         """One suggest POST; returns the status (-1 = transport error)."""
+        return self.request_with_hint(payload)[0]
+
+    def request_with_hint(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[int, Optional[float]]:
+        """One suggest POST; returns (status, Retry-After seconds or None)."""
         body = json.dumps(payload)
         try:
             self._conn.request(
@@ -164,14 +248,21 @@ class _HTTPWorkerConnection:
             )
             response = self._conn.getresponse()
             response.read()  # drain so the connection can be reused
-            return response.status
+            retry_after = response.getheader("Retry-After")
+            hint: Optional[float] = None
+            if retry_after is not None:
+                try:
+                    hint = float(retry_after)
+                except ValueError:
+                    pass  # HTTP-date form: ignore, jitter alone decides
+            return response.status, hint
         except (http.client.HTTPException, OSError):
             try:
                 self._conn.close()
                 self._conn = self._connect()
             except OSError:
                 pass
-            return -1
+            return -1, None
 
 
 def make_feature_pool(
@@ -191,6 +282,7 @@ def run_load(
     hot_fraction: float = 0.0,
     hot_rows: int = 8,
     seed: int = 23,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> LoadReport:
     """Closed-loop load: ``concurrency`` workers for ``duration_s`` seconds.
 
@@ -198,7 +290,10 @@ def run_load(
     ``hot_fraction`` from its first ``hot_rows`` rows — skewed traffic),
     sends ``{"features": [row], "k": k}``, and records the latency.
     Returns a :class:`LoadReport`; failed requests count as errors and
-    do not contribute latencies.
+    do not contribute latencies.  With a :class:`RetryPolicy`, shed and
+    unavailable responses are retried under seeded jittered backoff
+    (latency then spans all attempts) and only final failures count as
+    errors.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
@@ -219,6 +314,7 @@ def run_load(
 
     latencies: List[List[float]] = [[] for _ in range(concurrency)]
     errors = [0] * concurrency
+    retries = [0] * concurrency
     stop = threading.Event()
     barrier = threading.Barrier(concurrency + 1)
 
@@ -233,6 +329,7 @@ def run_load(
             return
         ring = rings[index]
         mine = latencies[index]
+        retry_rng = random.Random(seed * 7919 + index)
         try:
             barrier.wait()
         except threading.BrokenBarrierError:
@@ -240,8 +337,11 @@ def run_load(
         i = 0
         while not stop.is_set():
             started = time.perf_counter()
-            status = conn.request(ring[i % ring_size])
+            status, attempts = send_with_retries(
+                conn, ring[i % ring_size], retry_policy, retry_rng
+            )
             elapsed = time.perf_counter() - started
+            retries[index] += attempts
             if status == 200:
                 mine.append(elapsed)
             else:
@@ -300,6 +400,7 @@ def run_load(
         mean_latency_ms=mean_ms,
         concurrency=concurrency,
         mean_batch_rows=target.batch_stats(),
+        retries=sum(retries),
     )
 
 
@@ -386,6 +487,7 @@ def run_open_loop(
     seed: int = 23,
     max_inflight: int = 64,
     mode: str = "poisson",
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> LoadReport:
     """Open-loop load: dispatch on ``schedule``, regardless of responses.
 
@@ -419,6 +521,7 @@ def run_open_loop(
     work: "queue.Queue" = queue.Queue()
     latencies: List[List[float]] = [[] for _ in range(max_inflight)]
     errors = [0] * max_inflight
+    retries = [0] * max_inflight
     connect_failed = threading.Event()
 
     def sender(index: int) -> None:
@@ -432,13 +535,17 @@ def run_open_loop(
                 errors[index] += 1
             return
         mine = latencies[index]
+        retry_rng = random.Random(seed * 7919 + index)
         while True:
             item = work.get()
             if item is None:
                 return
             i, scheduled_at = item
-            status = conn.request(ring[i % ring_size])
+            status, attempts = send_with_retries(
+                conn, ring[i % ring_size], retry_policy, retry_rng
+            )
             completed = time.perf_counter() - start
+            retries[index] += attempts
             if status == 200:
                 mine.append(completed - scheduled_at)
             else:
@@ -487,6 +594,7 @@ def run_open_loop(
         mean_batch_rows=target.batch_stats(),
         mode=mode,
         offered_rps=schedule.size / span if span > 0 else 0.0,
+        retries=sum(retries),
     )
 
 
@@ -565,6 +673,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fraction of requests drawn from a few hot rows (skewed traffic)",
     )
     parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request HTTP timeout in seconds",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per request on 503/429/transport errors "
+        "(0 = fire once, the old behavior)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.05,
+        help="base of the seeded full-jitter exponential retry backoff "
+        "in seconds (honors the server's Retry-After)",
+    )
+    parser.add_argument(
         "--output", default=None,
         help=f"merge the report into this JSON file (e.g. {DEFAULT_REPORT})",
     )
@@ -580,15 +702,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"feature_dim={health.get('feature_dim')} num_drugs={health.get('num_drugs')}"
     )
     pool = make_feature_pool(int(health["feature_dim"]))
+    retry_policy = (
+        RetryPolicy(retries=args.retries, backoff_s=args.backoff)
+        if args.retries > 0
+        else None
+    )
     if args.mode == "closed":
         report = run_load(
-            HTTPTarget(args.url),
+            HTTPTarget(args.url, timeout=args.timeout),
             pool,
             duration_s=args.duration,
             concurrency=args.concurrency,
             k=args.k,
             hot_fraction=args.hot_fraction,
             seed=args.seed,
+            retry_policy=retry_policy,
         )
     else:
         if args.mode == "poisson":
@@ -604,7 +732,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 seed=args.seed,
             )
         report = run_open_loop(
-            HTTPTarget(args.url),
+            HTTPTarget(args.url, timeout=args.timeout),
             pool,
             schedule,
             k=args.k,
@@ -612,6 +740,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             max_inflight=args.max_inflight,
             mode=args.mode,
+            retry_policy=retry_policy,
         )
         print(
             f"open-loop {args.mode}: {schedule.size} scheduled arrivals "
@@ -620,7 +749,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(
         f"{report.requests} requests in {report.duration_s:.2f}s "
         f"({report.throughput_rps:.0f}/s, concurrency {report.concurrency}), "
-        f"{report.errors} errors"
+        f"{report.errors} errors, {report.retries} retries"
     )
     print(
         f"latency ms: p50 {report.p50_ms:.2f}  p90 {report.p90_ms:.2f}  "

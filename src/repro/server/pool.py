@@ -169,6 +169,7 @@ def worker_main(
 
     def on_sigterm(signum, frame) -> None:
         server.draining = True
+        app.draining = True  # /healthz answers "draining" from here on
         # shutdown() blocks until serve_forever exits; from the signal
         # handler (which interrupts serve_forever's own frame) that is a
         # deadlock — hand it to a throwaway thread instead.
@@ -182,6 +183,7 @@ def worker_main(
 
     server.serve_forever()
     server.draining = True
+    app.draining = True
     drained = tracker.wait_idle(config.drain_timeout_s)
     app.close()  # stop the watcher, flush whatever the batcher still holds
     stop_publishing.set()

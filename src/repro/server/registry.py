@@ -33,8 +33,9 @@ import tempfile
 import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from .. import atomicio, chaos
 from ..core.config import ServingConfig
 from ..serving.artifact import ARRAYS_NAME, MANIFEST_NAME, save_artifact
 from ..serving.service import SuggestionService
@@ -136,21 +137,30 @@ def scan_versions(root: PathLike) -> List[ModelVersion]:
     """
     root = Path(root)
     if is_artifact_dir(root):
-        return [_version_entry(root)]
+        try:
+            return [_version_entry(root)]
+        except OSError:
+            return []
     if not root.is_dir():
         return []
-    return sorted(
-        (
-            _version_entry(child)
-            for child in root.iterdir()
-            # Dot-prefixed directories are in-flight publishes (the
-            # temp dir before its atomic rename) — never versions.
-            if child.is_dir()
-            and not child.name.startswith(".")
-            and is_artifact_dir(child)
-        ),
-        key=lambda v: v.name,
-    )
+    versions: List[ModelVersion] = []
+    for child in root.iterdir():
+        # Dot-prefixed directories are in-flight publishes (the temp
+        # dir before its atomic rename) — never versions.
+        if not child.is_dir() or child.name.startswith("."):
+            continue
+        if not is_artifact_dir(child):
+            continue
+        try:
+            versions.append(_version_entry(child))
+        except OSError:
+            # The directory raced us: a non-atomic publisher still
+            # filling it in, or a pruner removing it between our
+            # existence check and the stat/read inside _version_entry.
+            # Skip it this scan — the next poll sees the settled state.
+            continue
+    versions.sort(key=lambda v: v.name)
+    return versions
 
 
 def _resolve_artifact_source(source: Path) -> Path:
@@ -212,6 +222,7 @@ def publish_artifact(
     root.mkdir(parents=True, exist_ok=True)
     tmp = Path(tempfile.mkdtemp(prefix=".publish-", dir=root))
     try:
+        chaos.failpoint("registry.publish.setup")
         if isinstance(system_or_path, (str, Path)):
             source = _resolve_artifact_source(Path(system_or_path))
             if not is_artifact_dir(source):
@@ -222,6 +233,11 @@ def publish_artifact(
                 shutil.copy2(source / name, tmp / name)
         else:
             save_artifact(system_or_path, tmp)
+        chaos.failpoint("registry.publish.payload")
+        # A version must be durable before it is visible: a gateway that
+        # hot-swaps onto it assumes the bytes survive a power cut.
+        if chaos.fsync_enabled("registry.publish.fsync"):
+            atomicio.fsync_tree(tmp)
         digest = artifact_digest(tmp)
         for _attempt in range(100):
             if reuse_identical:
@@ -241,6 +257,7 @@ def publish_artifact(
                 default=0,
             )
             final = root / f"v{seq:04d}-{digest[:8]}"
+            chaos.failpoint("registry.publish.rename")
             try:
                 os.replace(tmp, final)
             except OSError:
@@ -252,6 +269,8 @@ def publish_artifact(
                     shutil.rmtree(tmp, ignore_errors=True)
                     return _version_entry(final)
                 continue
+            chaos.failpoint("registry.publish.after")
+            atomicio.fsync_dir(root)
             return _version_entry(final)
         raise RuntimeError(
             f"could not claim a version slot under {root} after 100 attempts"
@@ -282,7 +301,9 @@ def prune_versions(root: PathLike, keep_last: int) -> List[str]:
     ]
     removed: List[str] = []
     for version in versions[: max(0, len(versions) - keep_last)]:
-        shutil.rmtree(version.path, ignore_errors=True)
+        # Rename-to-trash first: a registry mid-load on this version
+        # sees it fully there or fully gone, never half-deleted.
+        atomicio.remove_dir(version.path)
         removed.append(version.name)
     return removed
 
@@ -327,6 +348,14 @@ class ModelRegistry:
         self._active: Optional[ServingHandle] = None
         self.swaps = 0
         self.reload_errors = 0
+        #: ``"name@digest8" -> reason`` for versions that failed to load
+        #: (corrupt arrays, integrity mismatch, unreadable manifest).
+        #: Quarantined versions are never retried — keying on content
+        #: digest means a *republished* (fixed) version under the same
+        #: name gets a fresh chance, while the broken bytes stay dead.
+        #: Entries whose content vanishes from disk are pruned on the
+        #: next :meth:`reload`, so the dict stays bounded.
+        self.quarantined: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     def versions(self) -> List[ModelVersion]:
@@ -360,36 +389,88 @@ class ModelRegistry:
         """Whether a version is currently loaded and servable."""
         return self._active is not None
 
+    @staticmethod
+    def _quarantine_key(version: ModelVersion) -> str:
+        return f"{version.name}@{version.digest[:8]}"
+
+    def _candidate_versions(self, versions: List[ModelVersion]) -> List[ModelVersion]:
+        """Versions to try serving, best first (raises NoModelError)."""
+        if not versions:
+            raise NoModelError(f"no model versions under {self.root}")
+        if self.pinned_version is not None:
+            for version in versions:
+                if version.name == self.pinned_version:
+                    # Pinning means exactly this version: no fallback.
+                    return [version]
+            raise NoModelError(
+                f"pinned version {self.pinned_version!r} not found under "
+                f"{self.root} (have: {[v.name for v in versions]})"
+            )
+        return list(reversed(versions))  # newest first
+
     def reload(self) -> Tuple[bool, ModelVersion]:
-        """Load the target version if it differs from the active one.
+        """Load the best servable version if it differs from the active one.
 
         Returns ``(swapped, version)`` where ``version`` is what is being
         served after the call.  The expensive load happens outside any
         request path; the swap itself is a single reference assignment,
         so concurrent requests either keep the old handle or get the new
-        one — never a broken in-between.  Errors during load leave the
-        active handle untouched (and count in ``reload_errors``).
+        one — never a broken in-between.
+
+        A version that fails to load — corrupt ``arrays.npz``, an
+        :class:`~repro.serving.artifact.ArtifactIntegrityError` digest
+        mismatch, an unreadable manifest — is **quarantined** (recorded
+        in :attr:`quarantined`, never retried for the same content) and
+        the registry falls back to the next-newest loadable version.
+        When nothing newer loads, the active handle keeps serving
+        (last-known-good); :class:`NoModelError` is raised only when
+        there is no active handle *and* no loadable version.  Every
+        failed load attempt counts in ``reload_errors``.
         """
         with self._swap_lock:
+            current = self._active
             try:
-                target = self.target_version()
-                current = self._active
+                versions = self.versions()
+                candidates = self._candidate_versions(versions)
+            except BaseException:
+                self.reload_errors += 1
+                raise
+            # Quarantine tracks *present* broken versions only: entries
+            # whose (name, digest) no longer exist on disk — pruned
+            # versions, or torn snapshots of a non-atomic publisher that
+            # has since finished writing — are dropped, so the dict (and
+            # the /healthz report) stays bounded by the registry size.
+            live = {self._quarantine_key(v) for v in versions}
+            for key in [k for k in self.quarantined if k not in live]:
+                del self.quarantined[key]
+            for target in candidates:
+                key = self._quarantine_key(target)
+                if key in self.quarantined:
+                    continue
                 if (
                     current is not None
                     and current.version.name == target.name
                     and current.version.digest == target.digest
                 ):
                     return False, current.version
-                service = self._load_service(target)
-            except BaseException:
-                # The single counting point for failed reloads — callers
-                # (maybe_reload, the /-/reload route) only propagate or
-                # swallow, so the metric counts each failure once.
-                self.reload_errors += 1
-                raise
-            self._active = ServingHandle(version=target, service=service)
-            self.swaps += 1
-            return True, target
+                try:
+                    service = self._load_service(target)
+                except Exception as exc:
+                    self.reload_errors += 1
+                    self.quarantined[key] = f"{type(exc).__name__}: {exc}"
+                    continue
+                self._active = ServingHandle(version=target, service=service)
+                self.swaps += 1
+                return True, target
+            if current is not None:
+                # Everything newer is quarantined: keep last-known-good.
+                return False, current.version
+            self.reload_errors += 1
+            raise NoModelError(
+                f"no loadable model versions under {self.root} "
+                f"({len(self.quarantined)} quarantined: "
+                f"{sorted(self.quarantined)})"
+            )
 
     def _load_service(self, version: ModelVersion) -> SuggestionService:
         service = SuggestionService.load(version.path, mmap_mode=self.mmap_mode)
@@ -428,7 +509,7 @@ class ModelRegistry:
         for version in versions[: max(0, len(versions) - keep_last)]:
             if version.name == active:
                 continue
-            shutil.rmtree(version.path, ignore_errors=True)
+            atomicio.remove_dir(version.path)
             removed.append(version.name)
         return removed
 

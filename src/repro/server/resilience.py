@@ -1,0 +1,162 @@
+"""Resilience primitives for the gateway: circuit breaker + backoff.
+
+Two small, dependency-free pieces shared by the server and the load
+generator:
+
+* :class:`CircuitBreaker` — the classic closed / open / half-open state
+  machine around the scoring path.  Consecutive failures trip it open;
+  while open every request is rejected instantly (the gateway answers
+  503 + ``Retry-After`` instead of queueing doomed work behind a broken
+  model); after a cooldown exactly one probe request is let through and
+  its outcome decides between closing the breaker and re-opening it.
+* :func:`backoff_delay` — capped exponential backoff with full jitter
+  (delay drawn uniformly from ``[0, min(cap, base * 2**attempt)]``),
+  the retry schedule the load generator uses so that a shed burst does
+  not come back as a synchronized thundering herd.
+
+Both are deterministic under test: the breaker takes an injectable
+clock, the backoff takes an explicit ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+#: Breaker states (exposed via :attr:`CircuitBreaker.state`).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip after ``threshold`` consecutive failures; probe after cooldown.
+
+    Thread-safe; all transitions happen under one lock.  Usage::
+
+        breaker = CircuitBreaker(threshold=5, cooldown_s=2.0)
+        if not breaker.allow():
+            return 503  # degraded — retry after breaker.retry_after()
+        try:
+            result = score(...)
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+
+    Args:
+        threshold: consecutive failures that open the breaker (>= 1).
+        cooldown_s: seconds the breaker stays open before letting one
+            half-open probe through.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be > 0")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: Times the breaker tripped open (monotonic counter, metrics).
+        self.opens = 0
+        #: Requests rejected while open (monotonic counter, metrics).
+        self.rejections = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"`` (non-mutating)."""
+        with self._lock:
+            if self._state == OPEN and self._cooled_down():
+                return HALF_OPEN
+            return self._state
+
+    def _cooled_down(self) -> bool:
+        return self._clock() - self._opened_at >= self.cooldown_s
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now.
+
+        Closed: always.  Open: no, until the cooldown elapses.  After
+        the cooldown exactly one caller gets ``True`` (the half-open
+        probe); everyone else keeps getting ``False`` until the probe's
+        outcome is recorded.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN and self._cooled_down():
+                self._state = HALF_OPEN
+                self._probe_inflight = False
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        """A scoring call succeeded: close the breaker, reset counters."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """A scoring call failed: count it, trip open at the threshold.
+
+        A failed half-open probe re-opens immediately (one bad probe is
+        proof enough that the fault persists).
+        """
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.threshold
+            ):
+                if self._state != OPEN:
+                    self.opens += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe window (0 when serving)."""
+        with self._lock:
+            if self._state == CLOSED:
+                return 0.0
+            return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+
+
+def backoff_delay(
+    attempt: int,
+    base_s: float,
+    rng,
+    cap_s: float = 30.0,
+    retry_after_s: Optional[float] = None,
+) -> float:
+    """Jittered exponential delay before retry number ``attempt`` (0-based).
+
+    Full jitter: uniform in ``[0, min(cap_s, base_s * 2**attempt)]``.
+    When the server sent a ``Retry-After`` hint, the delay never
+    undercuts it — the server knows when it expects to recover.
+    """
+    if attempt < 0:
+        raise ValueError("attempt must be >= 0")
+    ceiling = min(cap_s, base_s * (2.0 ** attempt))
+    delay = rng.uniform(0.0, ceiling)
+    if retry_after_s is not None:
+        delay = max(delay, float(retry_after_s))
+    return delay

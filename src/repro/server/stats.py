@@ -29,6 +29,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from .. import atomicio
+
 PathLike = Union[str, Path]
 
 #: Snapshot fields summed across workers into ``repro_pool_*_total``.
@@ -72,10 +74,17 @@ class StatsBoard:
         payload = dict(snapshot)
         payload["worker"] = worker_id
         payload["published_at"] = time.time()
-        target = self._worker_path(worker_id)
-        tmp = target.with_name(target.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, target)
+        # durable=False: snapshots are republished every interval, so
+        # losing the newest one to a power cut costs nothing — but the
+        # replace must still be atomic so a reader never parses a torn
+        # file.  (``stats.publish.*`` failpoints live inside.)
+        atomicio.atomic_write_json(
+            self._worker_path(worker_id),
+            payload,
+            site="stats.publish",
+            durable=False,
+            sort_keys=True,
+        )
 
     def clear(self, worker_id: int) -> None:
         """Drop a worker's snapshot (supervisor, before a respawn).
@@ -185,11 +194,13 @@ def write_pool_state(stats_dir: PathLike, state: Dict[str, Any]) -> Path:
     """
     stats_dir = Path(stats_dir)
     stats_dir.mkdir(parents=True, exist_ok=True)
-    target = stats_dir / POOL_STATE_NAME
-    tmp = target.with_name(target.name + f".tmp{os.getpid()}")
-    tmp.write_text(json.dumps(state, sort_keys=True, indent=2))
-    os.replace(tmp, target)
-    return target
+    return atomicio.atomic_write_json(
+        stats_dir / POOL_STATE_NAME,
+        state,
+        site="stats.pool",
+        sort_keys=True,
+        indent=2,
+    )
 
 
 def read_pool_state(stats_dir: PathLike) -> Optional[Dict[str, Any]]:

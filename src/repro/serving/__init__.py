@@ -25,15 +25,23 @@ Quickstart::
     explanations = service.suggest_and_explain(x_batch, k=3)
 """
 
-from .artifact import FORMAT_VERSION, load_system, save_artifact
+from .artifact import (
+    FORMAT_VERSION,
+    ArtifactIntegrityError,
+    load_system,
+    save_artifact,
+    verify_artifact,
+)
 from .cache import LRUCache
 from .scorer import BatchScorer
 from .service import ServiceStats, SuggestionService
 
 __all__ = [
     "FORMAT_VERSION",
+    "ArtifactIntegrityError",
     "save_artifact",
     "load_system",
+    "verify_artifact",
     "LRUCache",
     "BatchScorer",
     "ServiceStats",

@@ -30,6 +30,7 @@ gateway (``repro-serve --workers N``) scale without N× the RSS.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 import zipfile
@@ -38,6 +39,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from .. import atomicio
 from .. import __version__ as _repro_version
 from ..core.config import DSSDDIConfig
 from ..core.md_module import MDModule
@@ -49,14 +51,16 @@ from ..graph import SignedGraph
 #: Schema version of the artifact directory.  Version 2 added the
 #: propagation_backend / score_chunk_rows config fields; version 3 added
 #: the serving ``score_block`` field (fixed-shape deterministic scoring
-#: for the online gateway).  Bumping it means older readers fail with
-#: the clean "unsupported artifact format version" error instead of a
-#: confusing unknown-config-field error.  Older artifacts (which simply
-#: lack the newer fields) still load: the config defaults fill them in —
-#: ``tests/serving/test_compat.py`` pins the bitwise round-trip for the
-#: PR-1 layout.
-FORMAT_VERSION = 3
-READABLE_VERSIONS = (1, 2, 3)
+#: for the online gateway); version 4 added per-array SHA-256 integrity
+#: digests (``array_digests`` in the manifest) verified on load.
+#: Bumping it means older readers fail with the clean "unsupported
+#: artifact format version" error instead of a confusing
+#: unknown-config-field error.  Older artifacts (which simply lack the
+#: newer fields) still load: the config defaults fill them in and
+#: digest verification is skipped — ``tests/serving/test_compat.py``
+#: pins the bitwise round-trip for the PR-1 layout.
+FORMAT_VERSION = 4
+READABLE_VERSIONS = (1, 2, 3, 4)
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
 
@@ -66,16 +70,46 @@ _EDGES_KEY = "ddi.edges"
 PathLike = Union[str, Path]
 
 
+class ArtifactIntegrityError(RuntimeError):
+    """An artifact's bytes do not match its manifest digests.
+
+    Raised on load when a stored array's SHA-256 digest disagrees with
+    the ``array_digests`` entry recorded at save time, or when an array
+    the manifest promises is missing from ``arrays.npz``.  Means the
+    artifact was torn, bit-rotted, or tampered with after publication —
+    callers (the model registry) quarantine it rather than serve it.
+    """
+
+
+def array_digest(array: np.ndarray) -> str:
+    """SHA-256 over one array's identity: dtype, shape, then raw bytes.
+
+    Hashing dtype and shape alongside the data means a reinterpreted
+    array (same bytes, different view) fails verification too, not just
+    flipped bits.
+    """
+    h = hashlib.sha256()
+    h.update(array.dtype.str.encode("ascii"))
+    h.update(repr(tuple(int(d) for d in array.shape)).encode("ascii"))
+    h.update(np.ascontiguousarray(array).tobytes())
+    return h.hexdigest()
+
+
 def save_artifact(system: DSSDDI, path: PathLike) -> Path:
     """Write a fitted system to ``path`` (created as a directory).
 
     Returns the artifact directory.  Overwrites an existing artifact at
-    the same location.
+    the same location.  The write is atomic and durable: both files are
+    staged in a temp directory, fsynced, and renamed into place in one
+    ``os.replace`` (failpoints ``artifact.save.*``), so a crash leaves
+    either the old complete artifact or the new one — never a hybrid —
+    and the manifest records a SHA-256 digest per array for the loader
+    to verify.
     """
     if system.md_module is None or system.ddi_data is None:
         raise RuntimeError("cannot save an unfitted DSSDDI")
     path = Path(path)
-    path.mkdir(parents=True, exist_ok=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
 
     arrays: Dict[str, np.ndarray] = {
         _MD_PREFIX + name: np.asarray(value)
@@ -95,10 +129,15 @@ def save_artifact(system: DSSDDI, path: PathLike) -> Path:
             for d in system.ddi_data.catalog
         ],
         "arrays": sorted(arrays),
+        "array_digests": {name: array_digest(arrays[name]) for name in sorted(arrays)},
     }
-    with open(path / MANIFEST_NAME, "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2)
-    np.savez(path / ARRAYS_NAME, **arrays)
+
+    def _write(tmp: Path) -> None:
+        with open(tmp / MANIFEST_NAME, "w", encoding="utf-8") as fh:  # lint: staged-write
+            json.dump(manifest, fh, indent=2)
+        np.savez(tmp / ARRAYS_NAME, **arrays)  # lint: staged-write
+
+    atomicio.atomic_write_dir(path, _write, site="artifact.save")
     return path
 
 
@@ -189,12 +228,78 @@ def load_arrays(
     return arrays
 
 
-def load_system(path: PathLike, mmap_mode: Optional[str] = None) -> DSSDDI:
+def verify_arrays(
+    arrays: Dict[str, np.ndarray], manifest: Dict, source: PathLike = "<arrays>"
+) -> bool:
+    """Check loaded arrays against the manifest's ``array_digests``.
+
+    Returns ``True`` when digests were present and all matched, ``False``
+    for pre-v4 manifests that carry none (nothing to verify — legacy
+    artifacts stay loadable).  Raises :class:`ArtifactIntegrityError` on
+    the first missing array or digest mismatch.
+    """
+    digests = manifest.get("array_digests")
+    if not digests:
+        return False
+    for name in sorted(digests):
+        if name not in arrays:
+            raise ArtifactIntegrityError(
+                f"artifact {source}: array {name!r} listed in the "
+                f"manifest is missing from {ARRAYS_NAME}"
+            )
+        actual = array_digest(np.asarray(arrays[name]))
+        if actual != digests[name]:
+            raise ArtifactIntegrityError(
+                f"artifact {source}: array {name!r} digest mismatch "
+                f"(manifest {digests[name][:12]}…, stored {actual[:12]}…) "
+                f"— the artifact is corrupt"
+            )
+    return True
+
+
+def verify_artifact(path: PathLike) -> bool:
+    """Full integrity check of an artifact directory.
+
+    Reads the manifest and every array and compares digests.  Returns
+    ``True`` if digests were verified, ``False`` for legacy digest-less
+    artifacts.  Raises :class:`ArtifactIntegrityError` on corruption,
+    ``FileNotFoundError``/``ValueError`` on structurally broken or
+    unreadable artifacts — the registry maps any of these to quarantine.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    arrays_path = path / ARRAYS_NAME
+    if not manifest_path.is_file() or not arrays_path.is_file():
+        raise FileNotFoundError(
+            f"no DSSDDI artifact at {path} (expected {MANIFEST_NAME} "
+            f"and {ARRAYS_NAME})"
+        )
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    version = manifest.get("format_version")
+    if version not in READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported artifact format version {version!r} "
+            f"(this build reads versions {READABLE_VERSIONS})"
+        )
+    arrays = load_arrays(arrays_path)
+    return verify_arrays(arrays, manifest, source=path)
+
+
+def load_system(
+    path: PathLike, mmap_mode: Optional[str] = None, verify: bool = True
+) -> DSSDDI:
     """Rebuild a fitted :class:`repro.core.DSSDDI` from an artifact.
 
     ``mmap_mode="r"`` memory-maps the weight arrays instead of copying
     them (see :func:`load_arrays`) — the loaded system scores bitwise
     identically either way.
+
+    ``verify=True`` (the default) checks every array against the
+    manifest's ``array_digests`` and raises
+    :class:`ArtifactIntegrityError` on a mismatch; pre-v4 artifacts
+    without digests load unverified.  Verification reads each array's
+    bytes once, which for memory-mapped loads also pre-faults the pages.
     """
     path = Path(path)
     manifest_path = path / MANIFEST_NAME
@@ -217,6 +322,8 @@ def load_system(path: PathLike, mmap_mode: Optional[str] = None) -> DSSDDI:
     config.validate()
 
     arrays = load_arrays(arrays_path, mmap_mode=mmap_mode)
+    if verify:
+        verify_arrays(arrays, manifest, source=path)
 
     num_drugs = int(manifest["num_drugs"])
     edges = arrays[_EDGES_KEY].reshape(-1, 3)

@@ -115,14 +115,18 @@ class SuggestionService:
         path,
         config: Optional[ServingConfig] = None,
         mmap_mode: Optional[str] = None,
+        verify: bool = True,
     ) -> "SuggestionService":
         """Load a :meth:`repro.core.DSSDDI.save` artifact and serve it.
 
         ``mmap_mode="r"`` maps the artifact's arrays read-only instead
-        of copying them (scores stay bitwise identical); see
+        of copying them (scores stay bitwise identical); ``verify``
+        checks the arrays against the manifest's integrity digests; see
         :meth:`repro.core.DSSDDI.load`.
         """
-        return cls(DSSDDI.load(path, mmap_mode=mmap_mode), config=config)
+        return cls(
+            DSSDDI.load(path, mmap_mode=mmap_mode, verify=verify), config=config
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -22,7 +22,6 @@ corrupt checkpoint — the previous complete one is still the newest.
 from __future__ import annotations
 
 import json
-import os
 import shutil
 import tempfile
 from pathlib import Path
@@ -30,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import atomicio, chaos
 from ..nn import Optimizer, Tensor
 
 PathLike = Union[str, Path]
@@ -141,12 +141,10 @@ class TrainState:
         # below never ran.  Checkpoint directories are single-writer
         # (scoped per run / per stage key), so any dot-prefixed sibling
         # is such an orphan; sweep them before adding more state.
-        for stale in path.parent.glob(".ckpt-*"):
-            shutil.rmtree(stale, ignore_errors=True)
-        for stale in path.parent.glob(".old-*"):
-            shutil.rmtree(stale, ignore_errors=True)
+        atomicio.sweep_orphans(path.parent)
         tmp = Path(tempfile.mkdtemp(prefix=".ckpt-", dir=path.parent))
         try:
+            chaos.failpoint("ckpt.save.setup")
             arrays: Dict[str, np.ndarray] = {
                 f"param.{i}": p.data for i, p in enumerate(self.params)
             }
@@ -155,7 +153,8 @@ class TrainState:
                     arrays[f"opt.{name}"] = np.asarray(value)
             for name, values in self.history.items():
                 arrays[f"history.{name}"] = np.asarray(values, dtype=np.float64)
-            np.savez(tmp / ARRAYS_NAME, **arrays)
+            np.savez(tmp / ARRAYS_NAME, **arrays)  # lint: staged-write
+            chaos.failpoint("ckpt.save.payload")
             meta = {
                 "format_version": STATE_FORMAT_VERSION,
                 "epoch": self.epoch,
@@ -166,11 +165,18 @@ class TrainState:
                     self.rng.bit_generator.state if self.rng is not None else None
                 ),
             }
-            with open(tmp / STATE_NAME, "w", encoding="utf-8") as fh:
+            with open(tmp / STATE_NAME, "w", encoding="utf-8") as fh:  # lint: staged-write
                 json.dump(meta, fh, indent=2)
             if extra_writer is not None:
                 extra_writer(tmp)
-            _replace_dir(tmp, path)
+            # The checkpoint must be durable *before* it becomes the
+            # newest complete epoch dir — resume picks by visibility.
+            if chaos.fsync_enabled("ckpt.save.fsync"):
+                atomicio.fsync_tree(tmp)
+            chaos.failpoint("ckpt.save.rename")
+            atomicio.replace_dir(tmp, path)
+            chaos.failpoint("ckpt.save.after")
+            atomicio.fsync_dir(path.parent)
         except BaseException:
             shutil.rmtree(tmp, ignore_errors=True)
             raise
@@ -225,21 +231,6 @@ class TrainState:
         }
         self.resumed_from = self.epoch
         return self
-
-
-def _replace_dir(src: Path, dst: Path) -> None:
-    """``os.replace`` for directories, tolerating a populated ``dst``."""
-    try:
-        os.replace(src, dst)
-    except OSError:
-        # Non-empty destination (an older checkpoint at the same path):
-        # move it aside, promote the new one, drop the old.  Both renames
-        # are atomic, so readers always see a complete checkpoint.
-        backup = dst.parent / f".old-{dst.name}-{os.getpid()}"
-        shutil.rmtree(backup, ignore_errors=True)
-        os.replace(dst, backup)
-        os.replace(src, dst)
-        shutil.rmtree(backup, ignore_errors=True)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,36 @@
+"""Shared fixtures for the chaos suite: one tiny fitted system.
+
+Mirrors ``tests/server/conftest.py`` at an even smaller scale — the
+chaos tests exercise failure paths, not model quality, so the cheapest
+fit that produces a loadable artifact is the right one.  Session scope
+shares the fit across every module here.
+"""
+
+import pytest
+
+from repro import chaos
+from repro.core import DSSDDI, DSSDDIConfig, DDIGCNConfig, MDGCNConfig
+from repro.data import generate_chronic_cohort, split_patients, standardize_features
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos():
+    """No chaos rule may leak between tests (or in from the outer env)."""
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+@pytest.fixture(scope="session")
+def fitted_system():
+    """(fitted DSSDDI, standardized held-out features) at toy scale."""
+    cohort = generate_chronic_cohort(num_patients=100, seed=5)
+    x = standardize_features(cohort.features)
+    split = split_patients(100, seed=1)
+    config = DSSDDIConfig(
+        ddi=DDIGCNConfig(epochs=8, hidden_dim=12),
+        md=MDGCNConfig(epochs=20, hidden_dim=12),
+    )
+    system = DSSDDI(config)
+    system.fit(x[split.train], cohort.medications[split.train], cohort.ddi)
+    return system, x[split.test]

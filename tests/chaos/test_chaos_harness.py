@@ -1,0 +1,153 @@
+"""The chaos harness itself: rule grammar, determinism, activation."""
+
+import os
+
+import pytest
+
+from repro import chaos
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos():
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+class TestParseSpec:
+    def test_simple_rule(self):
+        (rule,) = chaos.parse_spec("cache.store.rename=kill")
+        assert rule.point == "cache.store.rename"
+        assert rule.action == "kill"
+        assert rule.prob == 1.0
+        assert rule.limit is None
+
+    def test_full_grammar(self):
+        (rule,) = chaos.parse_spec("gateway.score=sleep:200@0.5#3")
+        assert rule.action == "sleep"
+        assert rule.arg == 200.0
+        assert rule.prob == 0.5
+        assert rule.limit == 3
+
+    def test_multiple_rules(self):
+        rules = chaos.parse_spec(
+            "ckpt.save.fsync=enospc#2, stats.publish.rename=err@0.5"
+        )
+        assert [r.action for r in rules] == ["enospc", "err"]
+
+    def test_prefix_match(self):
+        (rule,) = chaos.parse_spec("cache.store.*=err")
+        assert rule.matches("cache.store.payload")
+        assert rule.matches("cache.store.rename")
+        assert not rule.matches("ckpt.save.payload")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "no-equals-sign",
+            "point=",
+            "=kill",
+            "point=unknown-action",
+            "point=err@nan-ish-text",
+            "point=err@1.5",
+            "point=err#two",
+            "point=sleep:fast",
+            "point=partial:1.0",
+        ],
+    )
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(chaos.ChaosSpecError):
+            chaos.parse_spec(bad)
+
+    def test_empty_chunks_skipped(self):
+        assert chaos.parse_spec(" , ,") == []
+
+
+class TestDeterminism:
+    def _fire_pattern(self, seed):
+        config = chaos.ChaosConfig(
+            chaos.parse_spec("p=err@0.5"), seed=seed
+        )
+        return [config.pick("p") is not None for _ in range(64)]
+
+    def test_same_seed_same_schedule(self):
+        assert self._fire_pattern(7) == self._fire_pattern(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._fire_pattern(7) != self._fire_pattern(8)
+
+    def test_limit_budget(self):
+        config = chaos.ChaosConfig(chaos.parse_spec("p=err#2"))
+        fires = [config.pick("p") is not None for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert not chaos.active()
+        chaos.failpoint("anything")  # no-op, must not raise
+
+    def test_context_manager_arms_and_restores(self):
+        with chaos.chaos("p=err"):
+            assert chaos.active()
+            with pytest.raises(OSError):
+                chaos.failpoint("p")
+        assert not chaos.active()
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with chaos.chaos("p=err"):
+                raise RuntimeError("boom")
+        assert not chaos.active()
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv(chaos.ENV_VAR, "p=enospc")
+        chaos.reset()
+        assert chaos.active()
+        with pytest.raises(OSError) as excinfo:
+            chaos.failpoint("p")
+        assert excinfo.value.errno == __import__("errno").ENOSPC
+
+    def test_from_env_none_when_unset(self, monkeypatch):
+        monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+        assert chaos.ChaosConfig.from_env() is None
+
+    def test_skip_fsync_only_affects_fsync_enabled(self):
+        with chaos.chaos("p=skip-fsync"):
+            chaos.failpoint("p")  # must not raise
+            assert chaos.fsync_enabled("p") is False
+        assert chaos.fsync_enabled("p") is True
+
+    def test_partial_fraction(self):
+        with chaos.chaos("p=partial:0.5"):
+            assert chaos.partial_fraction("p") == 0.5
+        assert chaos.partial_fraction("p") is None
+
+    def test_hit_log(self, tmp_path):
+        log = tmp_path / "chaos.log"
+        with chaos.chaos("p=err", log_path=str(log)):
+            with pytest.raises(OSError):
+                chaos.failpoint("p")
+        assert log.read_text().splitlines() == ["p err"]
+
+    def test_sleep_injects_latency(self):
+        import time
+
+        with chaos.chaos("p=sleep:30"):
+            start = time.monotonic()
+            chaos.failpoint("p")
+            assert time.monotonic() - start >= 0.025
+
+
+class TestSiteRegistry:
+    def test_known_sites_name_real_modules(self):
+        import importlib
+
+        for site, module_name in chaos.KNOWN_SITES.items():
+            module = importlib.import_module(module_name)
+            assert module is not None, site
+
+    def test_write_subpoints_cover_the_idiom(self):
+        assert chaos.WRITE_SUBPOINTS == (
+            "setup", "payload", "fsync", "rename", "after",
+        )

@@ -1,0 +1,287 @@
+"""Registry under corruption and mid-publish races.
+
+The failure the registry must absorb: a version directory that *looks*
+published but cannot be served — torn ``arrays.npz``, a digest that no
+longer matches the manifest, a publisher writing byte-by-byte without
+the atomic rename.  The contract proved here:
+
+* a corrupt version is **quarantined** — never served, never retried
+  for the same bytes, never crashes the watcher;
+* the registry falls back to the newest *loadable* version, keeping the
+  last-known-good handle when nothing newer loads;
+* a republish of fixed content (different digest) gets a fresh chance;
+* ``scan_versions`` / ``maybe_reload`` tolerate a non-atomic publisher
+  revealing a version one byte at a time (the satellite regression).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import chaos
+from repro.serving import ArtifactIntegrityError, verify_artifact
+from repro.serving.artifact import ARRAYS_NAME, MANIFEST_NAME
+from repro.server import ModelRegistry, NoModelError, publish_artifact, scan_versions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def corrupt_arrays(version_path: Path) -> None:
+    """Silently alter array *values* (valid zip, wrong bytes).
+
+    This models the corruption the per-array digests exist for: the
+    file parses fine, the numbers are wrong.  (Raw byte-flips are caught
+    even earlier, by the zip CRC — see the dedicated test below.)
+    """
+    import numpy as np
+
+    arrays_path = version_path / ARRAYS_NAME
+    with np.load(arrays_path) as loaded:
+        arrays = {name: np.array(loaded[name]) for name in loaded.files}
+    name = sorted(arrays)[0]
+    flat = arrays[name].reshape(-1)
+    flat[: min(8, flat.size)] += 1
+    np.savez(arrays_path, **arrays)
+
+
+def flip_raw_bytes(version_path: Path) -> None:
+    """Flip bytes mid-file: the torn-write corruption the CRC catches."""
+    arrays = version_path / ARRAYS_NAME
+    blob = bytearray(arrays.read_bytes())
+    middle = len(blob) // 2
+    for i in range(middle, min(middle + 64, len(blob))):
+        blob[i] ^= 0xFF
+    arrays.write_bytes(bytes(blob))
+
+
+@pytest.fixture()
+def root(fitted_system, tmp_path):
+    system, _pool = fitted_system
+    root = tmp_path / "models"
+    publish_artifact(system, root)
+    return root
+
+
+class TestQuarantine:
+    def test_corrupt_newest_falls_back_to_older(self, fitted_system, root):
+        system, _ = fitted_system
+        good = scan_versions(root)[-1]
+        bad = publish_artifact(system, root, reuse_identical=False)
+        corrupt_arrays(bad.path)
+
+        registry = ModelRegistry(root)
+        swapped, serving = registry.reload()
+        assert swapped is True
+        assert serving.name == good.name
+        assert registry.reload_errors == 1
+        assert len(registry.quarantined) == 1
+        key = next(iter(registry.quarantined))
+        assert key.startswith(bad.name + "@")
+        assert "ArtifactIntegrityError" in registry.quarantined[key]
+
+    def test_quarantined_version_not_retried(self, fitted_system, root):
+        system, _ = fitted_system
+        bad = publish_artifact(system, root, reuse_identical=False)
+        corrupt_arrays(bad.path)
+        registry = ModelRegistry(root)
+        registry.reload()
+        errors_after_first = registry.reload_errors
+        for _ in range(3):
+            registry.reload()
+        assert registry.reload_errors == errors_after_first
+
+    def test_last_known_good_when_everything_newer_is_corrupt(
+        self, fitted_system, root
+    ):
+        system, _ = fitted_system
+        registry = ModelRegistry(root)
+        registry.reload()
+        active = registry.active().version
+        bad = publish_artifact(system, root, reuse_identical=False)
+        corrupt_arrays(bad.path)
+        # The corrupt bytes also invalidate the older version? No — only
+        # the new version is bad; but make the *good* one disappear too
+        # so last-known-good is all that's left.
+        for version in scan_versions(root):
+            if version.name == active.name:
+                corrupt_arrays(version.path)
+        swapped, serving = registry.reload()
+        assert swapped is False
+        assert serving.name == active.name  # still serving from memory
+        assert registry.active().version.name == active.name
+
+    def test_no_model_when_nothing_loadable_and_nothing_active(
+        self, fitted_system, root
+    ):
+        for version in scan_versions(root):
+            corrupt_arrays(version.path)
+        registry = ModelRegistry(root)
+        with pytest.raises(NoModelError) as excinfo:
+            registry.reload()
+        assert "quarantined" in str(excinfo.value)
+
+    def test_republished_fix_gets_fresh_chance(self, fitted_system, root):
+        system, _ = fitted_system
+        registry = ModelRegistry(root)
+        bad = publish_artifact(system, root, reuse_identical=False)
+        corrupt_arrays(bad.path)
+        registry.reload()  # serves the good original, quarantines `bad`
+        assert len(registry.quarantined) == 1
+        # "Fix" the broken version in place: republish healthy content
+        # under the same name (different digest => different key).
+        import shutil
+
+        source = registry.active().version.path
+        shutil.rmtree(bad.path)
+        shutil.copytree(source, bad.path)
+        swapped, serving = registry.reload()
+        assert swapped is True
+        assert serving.name == bad.name
+        # The broken content is gone from disk, so its quarantine entry
+        # is pruned — /healthz reports a clean registry again.
+        assert registry.quarantined == {}
+
+    def test_corrupt_pin_is_not_replaced_by_fallback(self, fitted_system, root):
+        system, _ = fitted_system
+        bad = publish_artifact(system, root, reuse_identical=False)
+        corrupt_arrays(bad.path)
+        registry = ModelRegistry(root, pinned_version=bad.name)
+        with pytest.raises(NoModelError):
+            registry.reload()  # pinning means exactly that version
+        assert not registry.has_model
+
+    def test_watcher_survives_corrupt_publish(self, fitted_system, root):
+        system, _ = fitted_system
+        registry = ModelRegistry(root)
+        registry.reload()
+        bad = publish_artifact(system, root, reuse_identical=False)
+        corrupt_arrays(bad.path)
+        # maybe_reload is the watcher's body: it must not raise and must
+        # keep the registry serving.
+        assert registry.maybe_reload() is False
+        assert registry.has_model
+        assert registry.active().version.name != bad.name
+
+
+class TestArtifactIntegrity:
+    def test_verify_artifact_detects_corruption(self, fitted_system, root):
+        version = scan_versions(root)[-1]
+        verify_artifact(version.path)  # intact: no raise
+        corrupt_arrays(version.path)
+        with pytest.raises(ArtifactIntegrityError):
+            verify_artifact(version.path)
+
+    def test_corrupt_artifact_is_never_loadable(self, fitted_system, root):
+        from repro.serving import SuggestionService
+
+        version = scan_versions(root)[-1]
+        corrupt_arrays(version.path)
+        with pytest.raises(ArtifactIntegrityError):
+            SuggestionService.load(version.path)
+
+    def test_raw_byte_flip_also_caught(self, fitted_system, root):
+        """Torn-write corruption (invalid zip) is caught even before the
+        digest layer — by the zip CRC — and quarantined all the same."""
+        from repro.serving import SuggestionService
+
+        version = scan_versions(root)[-1]
+        flip_raw_bytes(version.path)
+        with pytest.raises(Exception):
+            SuggestionService.load(version.path)
+        registry = ModelRegistry(root)
+        with pytest.raises(NoModelError):
+            registry.reload()
+        assert len(registry.quarantined) == 1
+
+    def test_manifest_tamper_detected(self, fitted_system, root):
+        import json
+
+        version = scan_versions(root)[-1]
+        manifest_path = version.path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        digests = manifest["array_digests"]
+        name = sorted(digests)[0]
+        digests[name] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactIntegrityError):
+            verify_artifact(version.path)
+
+
+class TestMidPublishRaces:
+    def test_byte_by_byte_publish_never_breaks_the_watcher(
+        self, fitted_system, root
+    ):
+        """The satellite regression: a non-atomic publisher that reveals
+        a version one byte at a time must never crash ``scan_versions``
+        or the watcher, never get served half-written, and must be
+        picked up once complete.
+        """
+        source = scan_versions(root)[-1]
+        registry = ModelRegistry(root)
+        registry.reload()
+        baseline = registry.active().version.name
+
+        target = root / "v9999-deadbeef"
+        target.mkdir()
+        for name in (MANIFEST_NAME, ARRAYS_NAME):
+            blob = (source.path / name).read_bytes()
+            out = target / name
+            # Byte-by-byte in coarse steps (true 1-byte steps on a
+            # multi-MB npz would take minutes; 113 is coprime to typical
+            # structure sizes so every probe sees a differently torn file).
+            with open(out, "wb") as fh:
+                for offset in range(0, len(blob), 113):
+                    fh.write(blob[offset : offset + 113])
+                    fh.flush()
+                    if offset % (113 * 50) == 0:
+                        scanned = scan_versions(root)  # must not raise
+                        names = [v.name for v in scanned]
+                        if name == MANIFEST_NAME:
+                            # arrays.npz absent: not a complete artifact.
+                            assert "v9999-deadbeef" not in names
+                        registry.maybe_reload()  # must not raise either
+                        assert registry.active().version.name == baseline
+        # Publish complete: the next poll serves it (content equals the
+        # source artifact, so it loads cleanly).
+        swapped = registry.maybe_reload()
+        assert swapped is True
+        assert registry.active().version.name == "v9999-deadbeef"
+        assert registry.quarantined == {}
+
+    def test_kill_mid_publish_leaves_no_visible_version(self, root, tmp_path):
+        """SIGKILL a publisher at every registry.publish failpoint: the
+        root afterwards holds only complete versions (plus possibly the
+        new one, if the kill came after promotion).
+        """
+        child = """
+from repro.server import publish_artifact
+publish_artifact({source!r}, {root!r}, reuse_identical=False)
+"""
+        source = scan_versions(root)[-1]
+        for subpoint in chaos.WRITE_SUBPOINTS:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+                "PYTHONPATH", ""
+            )
+            env[chaos.ENV_VAR] = f"registry.publish.{subpoint}=kill"
+            result = subprocess.run(
+                [
+                    sys.executable,
+                    "-c",
+                    child.format(source=str(source.path), root=str(root)),
+                ],
+                env=env, capture_output=True, text=True, timeout=120,
+            )
+            assert result.returncode == -signal.SIGKILL, (subpoint, result.stderr)
+            # Every scanned version is complete and servable.
+            for version in scan_versions(root):
+                verify_artifact(version.path)
+        # A healthy publish still works afterwards (no junk blocks it).
+        published = publish_artifact(
+            str(source.path), root, reuse_identical=False
+        )
+        verify_artifact(published.path)

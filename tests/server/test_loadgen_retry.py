@@ -1,0 +1,114 @@
+"""Load-generator retry policy: shed responses retried with backoff."""
+
+import random
+
+import pytest
+
+from repro.server.loadgen import (
+    RETRYABLE_STATUSES,
+    InprocTarget,
+    RetryPolicy,
+    send_with_retries,
+)
+
+
+class ScriptedConnection:
+    """A fake worker connection answering from a scripted status list."""
+
+    def __init__(self, statuses, hints=None):
+        self.statuses = list(statuses)
+        self.hints = list(hints or [])
+        self.calls = 0
+
+    def request_with_hint(self, payload):
+        self.calls += 1
+        status = self.statuses.pop(0)
+        hint = self.hints.pop(0) if self.hints else None
+        return status, hint
+
+
+class PlainConnection:
+    """A conn with only the legacy ``request`` method (no hint support)."""
+
+    def __init__(self, statuses):
+        self.statuses = list(statuses)
+
+    def request(self, payload):
+        return self.statuses.pop(0)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(11)
+
+
+# Backoff bases are tiny so the sleeps inside send_with_retries are
+# microseconds — these tests must stay fast.
+FAST = RetryPolicy(retries=2, backoff_s=1e-6, backoff_cap_s=1e-5)
+
+
+class TestSendWithRetries:
+    def test_success_first_try_uses_no_retries(self, rng):
+        conn = ScriptedConnection([200])
+        assert send_with_retries(conn, {}, FAST, rng) == (200, 0)
+
+    def test_shed_then_success(self, rng):
+        conn = ScriptedConnection([503, 200])
+        status, retries = send_with_retries(conn, {}, FAST, rng)
+        assert (status, retries) == (200, 1)
+        assert conn.calls == 2
+
+    def test_budget_exhausted_returns_last_status(self, rng):
+        conn = ScriptedConnection([503, 503, 503, 200])
+        status, retries = send_with_retries(conn, {}, FAST, rng)
+        assert (status, retries) == (503, 2)  # 1 try + 2 retries, gave up
+        assert conn.calls == 3
+
+    @pytest.mark.parametrize("status", sorted(RETRYABLE_STATUSES))
+    def test_retryable_statuses(self, rng, status):
+        conn = ScriptedConnection([status, 200])
+        assert send_with_retries(conn, {}, FAST, rng) == (200, 1)
+
+    @pytest.mark.parametrize("status", [400, 404, 500])
+    def test_non_retryable_statuses_fail_fast(self, rng, status):
+        conn = ScriptedConnection([status, 200])
+        assert send_with_retries(conn, {}, FAST, rng) == (status, 0)
+        assert conn.calls == 1
+
+    def test_no_policy_means_fire_once(self, rng):
+        conn = ScriptedConnection([503, 200])
+        assert send_with_retries(conn, {}, None, rng) == (503, 0)
+        assert conn.calls == 1
+
+    def test_legacy_connection_without_hint_support(self, rng):
+        conn = PlainConnection([503, 200])
+        assert send_with_retries(conn, {}, FAST, rng) == (200, 1)
+
+    def test_server_hint_floors_the_backoff(self, rng, monkeypatch):
+        import repro.server.loadgen as loadgen
+
+        slept = []
+        monkeypatch.setattr(loadgen.time, "sleep", slept.append)
+        conn = ScriptedConnection([503, 200], hints=[0.25, None])
+        status, retries = send_with_retries(conn, {}, FAST, rng)
+        assert (status, retries) == (200, 1)
+        assert slept == [0.25]  # tiny jitter ceiling, hint dominates
+
+
+class TestInprocTargetHints:
+    def test_request_with_hint_surfaces_retry_after(self, monkeypatch):
+        class FakeApp:
+            def suggest(self, payload):
+                return 503, {"error": "shed", "retry_after_s": 0.7}
+
+        target = InprocTarget(FakeApp())
+        conn = target.connect()
+        assert conn.request_with_hint({}) == (503, 0.7)
+
+    def test_request_with_hint_none_on_success(self):
+        class FakeApp:
+            def suggest(self, payload):
+                return 200, {"suggestions": [[1, 2, 3]]}
+
+        target = InprocTarget(FakeApp())
+        assert target.connect().request_with_hint({}) == (200, None)

@@ -3,7 +3,9 @@
 The artifact manifest carries ``format_version`` (the schema version):
 v1 was the PR-1 layout (no ``propagation_backend`` / ``score_chunk_rows``
 / ``score_block`` config fields), v2 added the sparse-backend fields, v3
-added the serving ``score_block``.  Two guarantees are pinned here:
+added the serving ``score_block``, v4 added per-array SHA-256 integrity
+digests (verified on load; absent in older artifacts, which therefore
+load unverified).  Two guarantees are pinned here:
 
 * saving with the **current** schema and loading it back round-trips
   ``predict_scores`` bitwise (the PR-1 invariant, re-asserted against
@@ -51,6 +53,7 @@ def make_v1_fixture(system, path):
     manifest_path = path / "manifest.json"
     manifest = json.loads(manifest_path.read_text())
     manifest["format_version"] = 1
+    manifest.pop("array_digests")  # integrity digests arrived in v4
     for section, fields in V2_PLUS_FIELDS.items():
         for name in fields:
             manifest["config"][section].pop(name)
@@ -63,7 +66,7 @@ class TestCurrentSchema:
         system, _ = fitted
         system.save(tmp_path / "model")
         manifest = json.loads((tmp_path / "model" / "manifest.json").read_text())
-        assert manifest["format_version"] == FORMAT_VERSION == 3
+        assert manifest["format_version"] == FORMAT_VERSION == 4
 
     def test_current_round_trip_is_bitwise(self, fitted, tmp_path):
         system, x_test = fitted

@@ -1,0 +1,139 @@
+"""Static lint: durable state must go through the atomic-write helpers.
+
+PR 7 made every write to crash-sensitive state (stage cache entries,
+training checkpoints, model artifacts, registry versions, run manifests,
+stats snapshots) go through :mod:`repro.atomicio` — temp file, fsync,
+one ``os.replace``.  This lint keeps it that way: it walks the modules
+that own such state and flags *direct* write calls that bypass the
+helpers:
+
+* ``open(..., "w")`` / ``open(..., "wb")`` (and ``Path.write_text`` /
+  ``Path.write_bytes``) at module/class/function level;
+* ``np.savez`` / ``np.save`` / ``json.dump`` straight to a final path.
+
+A direct write is fine when it targets a *temp* location that is later
+promoted atomically (the checkpoint writer stages ``arrays.npz`` inside
+a ``.ckpt-*`` temp dir, for example), so lines carrying the marker
+comment ``# lint: staged-write`` are exempt — the comment forces the
+author to say out loud that the path is pre-rename.  The marker also
+covers the line directly below it, so one marker on a ``with open(...)``
+header exempts the ``json.dump`` in its body.  Reads are never flagged.
+
+Usage::
+
+    python tools/lint_atomic_writes.py [src-root]
+
+Exits non-zero listing every violation (CI runs this next to the
+docstring lint).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules owning crash-sensitive state: any direct write here must
+#: either go through repro.atomicio or carry the staged-write marker.
+GUARDED_MODULES = (
+    "repro/pipeline/cache.py",
+    "repro/pipeline/manifest.py",
+    "repro/pipeline/runner.py",
+    "repro/train/state.py",
+    "repro/train/callbacks.py",
+    "repro/serving/artifact.py",
+    "repro/server/registry.py",
+    "repro/server/stats.py",
+)
+
+#: Marker comment that declares a write as staged-then-promoted.
+STAGED_MARKER = "# lint: staged-write"
+
+WRITE_MODES = {"w", "wb", "w+", "wb+", "a", "ab", "a+", "ab+", "x", "xb"}
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted name of the called function ('' when not a plain name)."""
+    func = node.func
+    parts = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+    return ".".join(reversed(parts))
+
+
+def _open_write_mode(node: ast.Call) -> bool:
+    """Whether this is ``open(..., "<write mode>")``."""
+    mode = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(flag in WRITE_MODES for flag in (mode.value.replace("t", ""),))
+    return False
+
+
+def _flagged_calls(tree: ast.AST):
+    """Yield (lineno, description) for every direct-write call."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        tail = name.rsplit(".", 1)[-1]
+        if name == "open" and _open_write_mode(node):
+            yield node.lineno, "open(..., 'w')"
+        elif tail in ("write_text", "write_bytes"):
+            yield node.lineno, f"Path.{tail}(...)"
+        elif name in ("np.savez", "np.savez_compressed", "np.save", "numpy.savez"):
+            yield node.lineno, f"{name}(...)"
+        elif tail == "dump" and name.split(".", 1)[0] in ("json", "pickle"):
+            yield node.lineno, f"{name}(...)"
+
+
+def lint_file(path: Path, rel: str) -> list:
+    """Every unmarked direct write in one guarded module."""
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    problems = []
+    for lineno, what in _flagged_calls(ast.parse(source, filename=str(path))):
+        # The marker exempts its own line and the line below, so one
+        # marker on a ``with open(...)`` header covers the dump inside.
+        window = lines[max(0, lineno - 2) : lineno]
+        if any(STAGED_MARKER in line for line in window):
+            continue
+        problems.append(
+            f"{rel}:{lineno}: direct {what} in a crash-sensitive module — "
+            f"use repro.atomicio (or mark the line '{STAGED_MARKER}' if it "
+            f"targets a temp path promoted by an atomic rename)"
+        )
+    return problems
+
+
+def main(argv) -> int:
+    """Lint every guarded module under the source root; 0 = clean."""
+    root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    problems = []
+    for rel in GUARDED_MODULES:
+        path = root / rel
+        if not path.is_file():
+            problems.append(f"{rel}: guarded module missing under {root}")
+            continue
+        problems.extend(lint_file(path, rel))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} atomic-write violation(s)")
+        return 1
+    count = len(GUARDED_MODULES)
+    print(f"atomic-write lint: {count} crash-sensitive modules clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
