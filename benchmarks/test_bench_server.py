@@ -94,7 +94,7 @@ def served_root(tmp_path_factory):
     return root
 
 
-def _gateway(root, max_batch, score_block):
+def _gateway(root, max_batch, score_block, trace_sample=0.0):
     registry = ModelRegistry(root, score_block=score_block or None)
     return GatewayApp(
         registry,
@@ -102,13 +102,15 @@ def _gateway(root, max_batch, score_block):
             max_batch_size=max_batch,
             max_wait_ms=MAX_WAIT_MS,
             score_block=score_block,
+            trace_sample=trace_sample,
+            trace_ring=4096,
         ),
     )
 
 
-def _measure(root, max_batch, score_block):
+def _measure(root, max_batch, score_block, trace_sample=0.0):
     """Best-of-ROUNDS closed-loop measurement of one gateway config."""
-    app = _gateway(root, max_batch, score_block)
+    app = _gateway(root, max_batch, score_block, trace_sample)
     pool = make_feature_pool(app.registry.active().service.feature_dim)
     best = None
     try:
@@ -183,6 +185,37 @@ def test_bench_micro_batching_speedup(served_root):
             assert speedup > 1.0
         else:
             assert speedup >= MIN_SPEEDUP
+    finally:
+        _flush_results()
+
+
+def test_bench_tracing_overhead(served_root):
+    """Tracing costs nothing off and little on.
+
+    The sampled-off gateway (``trace_sample=0.0``, the default every
+    other benchmark runs under) is the baseline; a fully-sampled
+    gateway (every request builds a six-span tree into the ring) must
+    stay within a modest margin of it.  Best-of-ROUNDS on both sides,
+    same artifact, same load shape.
+    """
+    untraced = _measure(served_root, MAX_BATCH, SCORE_BLOCK, trace_sample=0.0)
+    traced = _measure(served_root, MAX_BATCH, SCORE_BLOCK, trace_sample=1.0)
+
+    _record("tracing_off", untraced)
+    _record("tracing_full_sample", traced)
+    assert untraced.errors == traced.errors == 0
+
+    ratio = traced.throughput_rps / untraced.throughput_rps
+    RESULTS["tracing_full_sample_vs_off"] = round(ratio, 3)
+    print(f"\nfull-sample tracing vs off: {ratio:.3f}x throughput")
+    try:
+        if SMOKE:
+            # Shared CI runners: log the ratio, only assert sanity.
+            assert ratio > 0.5
+        else:
+            # Span bookkeeping per request must stay in the noise floor
+            # relative to the scoring work it wraps.
+            assert ratio > 0.8, f"full-sample tracing cost {1 - ratio:.1%}"
     finally:
         _flush_results()
 

@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.7.0",
+    version="1.8.0",
     description=(
         "DSSDDI: Decision Support System for Chronic Diseases Based on "
         "Drug-Drug Interactions (ICDE 2023) - full reproduction"

@@ -27,7 +27,7 @@ Package layout (see DESIGN.md for the full inventory):
 from .core import DSSDDI, DSSDDIConfig
 from .data import generate_chronic_cohort, generate_ddi, generate_mimic, split_patients
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from .serving import SuggestionService  # noqa: E402  (needs __version__)
 

@@ -100,12 +100,30 @@ KNOWN_SITES: Dict[str, str] = {
     "artifact.save": "repro.serving.artifact",
     "registry.publish": "repro.server.registry",
     "bench.merge": "repro.server.loadgen",
+    "trace.export": "repro.obs.cli",
 }
 
 #: Non-write failpoints (no setup/payload/... sub-structure).
 KNOWN_POINTS: Dict[str, str] = {
     "gateway.score": "repro.server.app (inside the micro-batch flush)",
 }
+
+#: Optional observer called as ``annotation_hook(point, action)`` right
+#: before an armed rule acts.  :mod:`repro.obs.trace` registers one at
+#: import so failpoint hits land as events on the active span; chaos
+#: itself imports nothing from obs (no cycle).  Hook errors are
+#: swallowed — telemetry must never change fault behavior.
+annotation_hook = None
+
+
+def _annotate(point: str, action: str) -> None:
+    hook = annotation_hook
+    if hook is None:
+        return
+    try:
+        hook(point, action)
+    except Exception:
+        pass
 
 
 class ChaosSpecError(ValueError):
@@ -282,6 +300,7 @@ def active() -> bool:
 # ----------------------------------------------------------------------
 def _act(point: str, rule: Rule, config: ChaosConfig) -> None:
     config.log_hit(point, rule)
+    _annotate(point, rule.action)
     if rule.action == "kill":
         os.kill(os.getpid(), signal.SIGKILL)
         # Unreachable in practice; belt and braces if SIGKILL is masked
@@ -323,6 +342,7 @@ def fsync_enabled(point: str) -> bool:
         return True
     if rule.action == "skip-fsync":
         config.log_hit(point, rule)
+        _annotate(point, rule.action)
         return False
     _act(point, rule, config)
     return True
@@ -343,6 +363,7 @@ def partial_fraction(point: str) -> Optional[float]:
         return None
     if rule.action == "partial":
         config.log_hit(point, rule)
+        _annotate(point, rule.action)
         return rule.arg
     _act(point, rule, config)
     return None

@@ -232,6 +232,14 @@ class ServerConfig(_SerializableConfig):
             breaker).
         breaker_cooldown_s: seconds the tripped breaker rejects
             requests before letting one probe through.
+        trace_sample: fraction of requests traced by :mod:`repro.obs`
+            (0.0 disables unsolicited tracing — requests carrying an
+            ``X-Repro-Trace`` header are always traced; 1.0 traces
+            everything).
+        trace_ring: finished spans kept in the in-memory ring served by
+            ``GET /v1/trace`` (per process).
+        trace_log: optional JSONL file every finished span is appended
+            to (size-rotated; see :class:`repro.obs.JsonlSink`).
     """
 
     host: str = "127.0.0.1"
@@ -252,6 +260,9 @@ class ServerConfig(_SerializableConfig):
     queue_limit: int = 0
     breaker_threshold: int = 0
     breaker_cooldown_s: float = 2.0
+    trace_sample: float = 0.0
+    trace_ring: int = 512
+    trace_log: Optional[str] = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` on out-of-range gateway knobs."""
@@ -285,6 +296,10 @@ class ServerConfig(_SerializableConfig):
             raise ValueError("breaker_threshold must be >= 0 (0 = off)")
         if self.breaker_cooldown_s <= 0:
             raise ValueError("breaker_cooldown_s must be > 0")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
+        if self.trace_ring < 1:
+            raise ValueError("trace_ring must be >= 1")
 
 
 @dataclass

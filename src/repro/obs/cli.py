@@ -1,0 +1,264 @@
+"""Implementation of the ``repro trace`` subcommand.
+
+Registered by :mod:`repro.pipeline.cli`; operates on spans from either
+a file (``--input``: JSONL span records, a Chrome ``trace_event``
+export, or a run manifest with an embedded ``trace``) or a live gateway
+(``--url http://host:port`` → ``GET /v1/trace``).
+
+Three verbs::
+
+    repro trace summary  --input spans.jsonl     # per-name latency stats
+    repro trace slowest  --url http://host:8377  # span-tree timelines
+    repro trace export   --input spans.jsonl -o trace.json   # Perfetto
+
+``export`` writes Chrome ``trace_event`` JSON through
+:func:`repro.atomicio.atomic_write_json` (failpoint site
+``trace.export``), so a crash mid-export never leaves a torn file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .. import atomicio
+from .trace import chrome_trace, spans_from_chrome
+
+Span = Dict[str, Any]
+
+
+# ----------------------------------------------------------------------
+# Span loading
+# ----------------------------------------------------------------------
+def load_spans_file(path: Path) -> List[Span]:
+    """Spans from JSONL, a Chrome export, or a run manifest."""
+    text = path.read_text(encoding="utf-8")
+    # A JSONL file of span records *also* starts with "{" — only treat
+    # the text as one document if it actually parses as one.
+    document = None
+    if text.lstrip().startswith("{"):
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            document = None  # multi-line JSONL: fall through
+    if isinstance(document, dict):
+        if "traceEvents" in document:
+            return spans_from_chrome(document)
+        if "spans" in document:  # GET /v1/trace payload saved to disk
+            return list(document["spans"])
+        if "trace" in document:  # run manifest with embedded trace
+            return list(document["trace"] or [])
+        raise ValueError(f"{path}: JSON object holds no recognizable spans")
+    spans: List[Span] = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            spans.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn final line of an append-mode sink
+            raise
+    return spans
+
+
+def fetch_spans(url: str, timeout: float = 5.0) -> List[Span]:
+    """Spans from a live gateway's ``GET /v1/trace``."""
+    endpoint = url.rstrip("/") + "/v1/trace?format=spans"
+    with urllib.request.urlopen(endpoint, timeout=timeout) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    return list(payload.get("spans", []))
+
+
+def _load(args: argparse.Namespace) -> List[Span]:
+    if args.input:
+        return load_spans_file(Path(args.input))
+    if args.url:
+        return fetch_spans(args.url)
+    raise SystemExit("error: provide --input FILE or --url http://host:port")
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def summarize(spans: List[Span]) -> str:
+    """Per-name count / total / p50 / p99 / max table, slowest first."""
+    by_name: Dict[str, List[float]] = defaultdict(list)
+    traces = set()
+    for span in spans:
+        by_name[span.get("name", "?")].append(float(span.get("dur_s") or 0.0))
+        traces.add(span.get("trace"))
+    if not by_name:
+        return "no spans"
+    lines = [
+        f"{len(spans)} span(s) across {len(traces)} trace(s)",
+        "",
+        f"{'name':<28} {'count':>6} {'total_ms':>10} {'p50_ms':>8} "
+        f"{'p99_ms':>8} {'max_ms':>8}",
+    ]
+    rows = []
+    for name, durations in by_name.items():
+        durations.sort()
+        rows.append(
+            (
+                sum(durations),
+                f"{name:<28} {len(durations):>6} {sum(durations) * 1e3:>10.2f} "
+                f"{_percentile(durations, 0.5) * 1e3:>8.2f} "
+                f"{_percentile(durations, 0.99) * 1e3:>8.2f} "
+                f"{durations[-1] * 1e3:>8.2f}",
+            )
+        )
+    rows.sort(key=lambda row: -row[0])
+    lines.extend(row[1] for row in rows)
+    return "\n".join(lines)
+
+
+def _trace_tree(spans: List[Span]) -> List[str]:
+    """ASCII timeline of one trace's span tree, children indented."""
+    by_id = {span["span"]: span for span in spans}
+    children: Dict[Optional[str], List[Span]] = defaultdict(list)
+    for span in spans:
+        parent = span.get("parent")
+        children[parent if parent in by_id else None].append(span)
+    for sibling_list in children.values():
+        sibling_list.sort(key=lambda s: s.get("start", 0.0))
+    roots = children.get(None, [])
+    origin = min((s.get("start", 0.0) for s in spans), default=0.0)
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        offset_ms = (span.get("start", 0.0) - origin) * 1e3
+        dur_ms = (span.get("dur_s") or 0.0) * 1e3
+        indent = "  " * depth
+        pid = span.get("pid", "?")
+        chaos_hits = [e for e in span.get("events", []) if e.get("name") == "chaos"]
+        suffix = f"  [chaos x{len(chaos_hits)}]" if chaos_hits else ""
+        lines.append(
+            f"  {indent}{span['name']:<{max(1, 30 - 2 * depth)}} "
+            f"+{offset_ms:8.2f}ms  {dur_ms:8.2f}ms  pid {pid}{suffix}"
+        )
+        for child in children.get(span["span"], []):
+            render(child, depth + 1)
+
+    for root in roots:
+        render(root, 0)
+    return lines
+
+
+def slowest(spans: List[Span], n: int) -> str:
+    """The ``n`` slowest traces (by root span duration) as span trees."""
+    by_trace: Dict[str, List[Span]] = defaultdict(list)
+    for span in spans:
+        if span.get("trace"):
+            by_trace[span["trace"]].append(span)
+
+    def root_duration(trace_spans: List[Span]) -> float:
+        ids = {s["span"] for s in trace_spans}
+        roots = [s for s in trace_spans if s.get("parent") not in ids]
+        return max((float(s.get("dur_s") or 0.0) for s in roots), default=0.0)
+
+    ranked = sorted(by_trace.items(), key=lambda kv: -root_duration(kv[1]))
+    if not ranked:
+        return "no traces"
+    lines: List[str] = []
+    for trace_id, trace_spans in ranked[:n]:
+        pids = sorted({s.get("pid", 0) for s in trace_spans})
+        lines.append(
+            f"trace {trace_id}  root {root_duration(trace_spans) * 1e3:.2f}ms  "
+            f"{len(trace_spans)} span(s)  pid(s) {pids}"
+        )
+        lines.extend(_trace_tree(trace_spans))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def export(spans: List[Span], output: Path) -> None:
+    """Write Chrome ``trace_event`` JSON, crash-safe."""
+    atomicio.atomic_write_json(
+        output, chrome_trace(spans), site="trace.export", indent=2
+    )
+
+
+# ----------------------------------------------------------------------
+# argparse wiring (called from repro.pipeline.cli)
+# ----------------------------------------------------------------------
+def add_trace_parser(sub: argparse._SubParsersAction) -> None:
+    """Register ``repro trace`` on the top-level subparser action."""
+    trace = sub.add_parser(
+        "trace", help="inspect and export repro.obs traces"
+    )
+    verbs = trace.add_subparsers(dest="trace_command", required=True)
+    for verb, help_text in (
+        ("summary", "per-span-name latency statistics"),
+        ("slowest", "span-tree timelines of the slowest traces"),
+        ("export", "write Chrome trace_event JSON for Perfetto"),
+    ):
+        p = verbs.add_parser(verb, help=help_text)
+        p.add_argument(
+            "--input", default=None, metavar="FILE",
+            help="span source: JSONL sink, Chrome export, manifest, or a "
+            "saved /v1/trace payload",
+        )
+        p.add_argument(
+            "--url", default=None, metavar="URL",
+            help="live gateway base URL (GET /v1/trace)",
+        )
+        if verb == "slowest":
+            p.add_argument("-n", type=int, default=5, help="traces to show")
+        if verb == "export":
+            p.add_argument(
+                "-o", "--output", required=True, metavar="FILE",
+                help="output path for the Chrome trace JSON",
+            )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    spans = _load(args)
+    if args.trace_command == "summary":
+        print(summarize(spans))
+        return 0
+    if args.trace_command == "slowest":
+        print(slowest(spans, max(1, args.n)))
+        return 0
+    output = Path(args.output)
+    export(spans, output)
+    print(f"wrote {len(spans)} span(s) to {output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry (``python -m repro.obs.cli summary ...``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description="inspect and export repro.obs traces"
+    )
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+    for verb, help_text in (
+        ("summary", "per-span-name latency statistics"),
+        ("slowest", "span-tree timelines of the slowest traces"),
+        ("export", "write Chrome trace_event JSON for Perfetto"),
+    ):
+        p = sub.add_parser(verb, help=help_text)
+        p.add_argument("--input", default=None, metavar="FILE")
+        p.add_argument("--url", default=None, metavar="URL")
+        if verb == "slowest":
+            p.add_argument("-n", type=int, default=5)
+        if verb == "export":
+            p.add_argument("-o", "--output", required=True, metavar="FILE")
+    return cmd_trace(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

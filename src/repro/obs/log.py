@@ -1,0 +1,182 @@
+"""Structured logging and the JSONL span sink for ``repro.obs``.
+
+Two pieces, both stdlib-only:
+
+* :class:`StructLogger` / :func:`get_logger` — the replacement for bare
+  ``print(..., file=sys.stderr)`` in library code.  One JSON object per
+  line (``ts``, ``level``, ``logger``, ``event`` plus free-form fields),
+  so supervisor incidents (worker exits, kill-on-drain-timeout) are
+  machine-parseable instead of format-string archaeology.  Enforced by
+  ``tools/lint_no_print.py``.
+* :class:`JsonlSink` — an append-only, size-rotated JSONL file that a
+  :class:`~repro.obs.trace.Tracer` can write every finished span to.
+  Appends are flushed per-record; rotation goes through ``os.replace``
+  so a crash leaves either the old or the new generation, never a
+  half-renamed file.  A torn final line (the crash case for appends,
+  which cannot be atomic) is tolerated by :func:`read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+PathLike = Union[str, Path]
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+class StructLogger:
+    """Emit one JSON object per line to a stream (default stderr).
+
+    Cheap enough to construct ad hoc, but prefer :func:`get_logger` so
+    repeated lookups share instances.  Serialization falls back to
+    ``str()`` for non-JSON values — a log call must never raise.
+    """
+
+    def __init__(self, name: str, stream: Optional[TextIO] = None) -> None:
+        self.name = name
+        self._stream = stream
+
+    def _emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        record = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(fields)
+        stream = self._stream if self._stream is not None else sys.stderr
+        try:
+            stream.write(json.dumps(record, default=str) + "\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # logging must never take the process down
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit("error", event, fields)
+
+
+_loggers: Dict[str, StructLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructLogger:
+    """Shared :class:`StructLogger` for ``name`` (stderr-backed)."""
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = StructLogger(name)
+            _loggers[name] = logger
+        return logger
+
+
+class JsonlSink:
+    """Append-only JSONL file with size-based rotation.
+
+    Args:
+        path: the live file; rotated generations are ``<path>.1`` ..
+            ``<path>.<backups>`` (newest first).
+        max_bytes: rotate when the live file would exceed this
+            (0 disables rotation).
+        backups: rotated generations to keep.
+
+    Appends are serialized under a lock and flushed per record — the
+    most a crash can lose is the final, possibly torn, line.  Rotation
+    renames via ``os.replace`` (atomic on POSIX), shifting generations
+    oldest-last so ``<path>`` always names the newest data.
+    """
+
+    def __init__(
+        self, path: PathLike, max_bytes: int = 8 * 1024 * 1024, backups: int = 2
+    ) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if backups < 1:
+            raise ValueError("backups must be >= 1")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self._fh: Optional[io.TextIOWrapper] = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def _open(self) -> io.TextIOWrapper:
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def _rotate_locked(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None
+        for gen in range(self.backups - 1, 0, -1):
+            older = self.path.with_name(f"{self.path.name}.{gen}")
+            newer = self.path.with_name(f"{self.path.name}.{gen + 1}")
+            if older.exists():
+                os.replace(older, newer)
+        if self.path.exists():
+            os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record, rotating first if the file is full."""
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            if (
+                self.max_bytes
+                and self.path.exists()
+                and self.path.stat().st_size + len(line) > self.max_bytes
+            ):
+                self._rotate_locked()
+            fh = self._open()
+            fh.write(line)
+            fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Load a JSONL file, tolerating a torn (crash-truncated) final line.
+
+    A decode error anywhere but the last line is a real corruption and
+    propagates; only the final line may legitimately be torn, because
+    appends are not atomic.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn final line: the crash-window artifact
+            raise
+    return records

@@ -1,0 +1,545 @@
+"""Spans and tracers: the request-scoped telemetry core of ``repro.obs``.
+
+A **span** is one named, timed operation (a request, a batch flush, a
+pipeline stage, a training epoch); a **trace** is the tree of spans that
+served one logical unit of work, stitched together by IDs:
+
+* ``trace_id`` (16 hex chars) names the whole tree and travels across
+  process boundaries in the ``X-Repro-Trace`` HTTP header;
+* ``span_id`` (8 hex chars) names one span inside the trace;
+* ``parent_id`` links a child span to its parent (``None`` for roots).
+
+IDs are **deterministic**: each :class:`Tracer` derives them from its
+seed and a monotone counter, never from ``uuid4`` — two runs with the
+same seed and call order mint the same IDs, which is what lets the
+chaos/replay suites assert on exact traces.
+
+Context propagation is two-level:
+
+* **within a process** — a module-level ``threading.local`` stack holds
+  the *active* span per thread; ``tracer.span(...)`` used as a context
+  manager pushes/pops it, and a span started with no explicit parent
+  adopts the active span.  Cross-thread handoff is explicit: pass
+  ``span.context()`` (a :class:`SpanContext`) to the other thread.
+* **across processes** — :func:`format_header` / :func:`parse_header`
+  carry ``trace_id/span_id`` through ``X-Repro-Trace``; the gateway
+  accepts the header on requests and emits the request's trace id on
+  responses, so a client, the pre-fork parent, and the worker that
+  served the request all agree on one trace.
+
+Finished spans land in a bounded in-memory ring (newest win) and,
+optionally, a JSONL sink (:class:`repro.obs.log.JsonlSink`).  Export to
+Chrome ``trace_event`` JSON — loadable in Perfetto / ``chrome://tracing``
+— is :func:`chrome_trace`; :func:`spans_from_chrome` is its inverse
+(round-trip tested).
+
+Sampling: ``Tracer(sample=0.0)`` (the default) records nothing and the
+per-request cost is one float comparison — safe for the benchmark
+suite.  A request that *arrives* with an ``X-Repro-Trace`` header is
+always sampled (client-driven targeted tracing), whatever the rate.
+
+Chaos integration: importing this module registers a hook with
+:mod:`repro.chaos` so every armed failpoint hit annotates the active
+span with a ``chaos`` event — degraded-mode incidents leave a causal
+trail inside the request trace that suffered them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .. import chaos
+
+#: The HTTP header carrying ``<trace_id>-<span_id>`` across processes.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Environment knobs read by :func:`get_tracer` (the process-global
+#: default tracer used by pipeline/training instrumentation).
+SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
+RING_ENV = "REPRO_TRACE_RING"
+LOG_ENV = "REPRO_TRACE_LOG"
+
+_TRACE_ID_LEN = 16
+_SPAN_ID_LEN = 8
+
+#: Per-thread stack of active spans (module-level so chaos annotations
+#: and nested tracers agree on "the current span" regardless of which
+#: Tracer instance started it).
+_ACTIVE = threading.local()
+
+
+def _active_stack() -> List["Span"]:
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = []
+        _ACTIVE.stack = stack
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost active span on this thread, or ``None``."""
+    stack = getattr(_ACTIVE, "stack", None)
+    return stack[-1] if stack else None
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span: ``(trace_id, span_id)``."""
+
+    trace_id: str
+    span_id: str
+
+
+def format_header(ctx: Union["Span", SpanContext]) -> str:
+    """``X-Repro-Trace`` value for a span or context."""
+    return f"{ctx.trace_id}-{ctx.span_id}"
+
+
+def parse_header(value: Optional[str]) -> Optional[SpanContext]:
+    """Parse an ``X-Repro-Trace`` value; ``None`` for absent/malformed.
+
+    Malformed headers are *dropped*, not rejected: tracing is telemetry,
+    and a bad header must never turn into a client-visible 400.
+    """
+    if not value:
+        return None
+    value = value.strip()
+    trace_id, sep, span_id = value.partition("-")
+    if not sep:
+        # A bare trace id is accepted (no parent span): the request
+        # still joins the caller's trace, rooted at the gateway.
+        trace_id, span_id = value, ""
+    if len(trace_id) != _TRACE_ID_LEN:
+        return None
+    if span_id and len(span_id) != _SPAN_ID_LEN:
+        return None
+    try:
+        int(trace_id, 16)
+        if span_id:
+            int(span_id, 16)
+    except ValueError:
+        return None
+    return SpanContext(trace_id=trace_id, span_id=span_id)
+
+
+class Span:
+    """One named, timed operation inside a trace.
+
+    Created via :meth:`Tracer.span` / :meth:`Tracer.start_span`; used
+    either as a context manager (activates on this thread, ends on
+    exit) or manually (``span.end()``).  Attributes are JSON-safe
+    key/values; events are timestamped point annotations (chaos hits,
+    registry swaps) attached to the span they happened under.
+    """
+
+    __slots__ = (
+        "tracer", "name", "trace_id", "span_id", "parent_id",
+        "start_wall", "start_perf", "duration_s", "pid", "tid",
+        "attrs", "events", "_activated",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_wall = time.time()
+        self.start_perf = time.perf_counter()
+        self.duration_s: Optional[float] = None
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.events: List[Dict[str, Any]] = []
+        self._activated = False
+
+    # ------------------------------------------------------------------
+    def context(self) -> SpanContext:
+        """The propagatable ``(trace_id, span_id)`` of this span."""
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one JSON-safe attribute; returns self for chaining."""
+        self.attrs[key] = value
+        return self
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a point-in-time annotation on this span."""
+        self.events.append(
+            {
+                "name": name,
+                "offset_s": round(time.perf_counter() - self.start_perf, 9),
+                **fields,
+            }
+        )
+
+    def end(self) -> None:
+        """Finish the span and hand it to the tracer's sinks (idempotent)."""
+        if self.duration_s is not None:
+            return
+        self.duration_s = time.perf_counter() - self.start_perf
+        self.tracer._finish(self)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        _active_stack().append(self)
+        self._activated = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        stack = _active_stack()
+        if self._activated and stack and stack[-1] is self:
+            stack.pop()
+        self._activated = False
+        self.end()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (the ring/JSONL/export schema)."""
+        return {
+            "name": self.name,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "start": self.start_wall,
+            "dur_s": self.duration_s if self.duration_s is not None else 0.0,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, span={self.span_id}, "
+            f"parent={self.parent_id})"
+        )
+
+
+class Tracer:
+    """Mint spans, decide sampling, and keep the finished-span ring.
+
+    Args:
+        sample: fraction of roots to trace (0.0 = off, 1.0 = all).
+            Requests carrying an ``X-Repro-Trace`` parent are sampled
+            regardless (client-driven tracing).
+        ring_size: bounded count of finished spans kept in memory (the
+            ``GET /v1/trace`` window); oldest spans fall off.
+        seed: drives both the deterministic ID sequence and the
+            sampling draw — same seed + call order = same trace.
+        service: logical name stamped into Chrome exports.
+        sink: optional object with a ``write(dict)`` method (e.g.
+            :class:`repro.obs.log.JsonlSink`) receiving every finished
+            span.
+
+    Thread-safe: spans are minted and finished from request threads,
+    the batch flusher, and watcher threads concurrently.
+    """
+
+    def __init__(
+        self,
+        sample: float = 0.0,
+        ring_size: int = 512,
+        seed: int = 0,
+        service: str = "repro",
+        sink: Optional[Any] = None,
+    ) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("sample must be in [0, 1]")
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        self.sample = sample
+        self.ring_size = ring_size
+        self.seed = seed
+        self.service = service
+        self.sink = sink
+        self._counter = itertools.count(1)
+        # Deterministic sampling: a seeded accumulator, not an RNG —
+        # rate 0.25 samples exactly every 4th root, replayably.
+        self._accum = float(seed % 997) / 997.0
+        self._ring: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        # 8 hex chars of (pid, seed): trace ids minted by different
+        # processes of one pool never collide, yet stay reproducible
+        # for a fixed pid + seed.
+        self._id_base = f"{(os.getpid() ^ (seed << 16)) & 0xFFFFFFFF:08x}"
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether unsolicited (non-header) sampling can ever fire."""
+        return self.sample > 0.0
+
+    def sample_decision(self) -> bool:
+        """Deterministic rate-``sample`` decision for a new root."""
+        if self.sample <= 0.0:
+            return False
+        if self.sample >= 1.0:
+            return True
+        with self._lock:
+            self._accum += self.sample
+            if self._accum >= 1.0:
+                self._accum -= 1.0
+                return True
+            return False
+
+    def _new_trace_id(self) -> str:
+        return f"{self._id_base}{next(self._counter) & 0xFFFFFFFF:08x}"
+
+    def _new_span_id(self) -> str:
+        return f"{next(self._counter) & 0xFFFFFFFF:08x}"
+
+    # ------------------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Union[Span, SpanContext]] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Mint a started span (not activated on the thread).
+
+        Parent resolution: an explicit ``parent`` wins; otherwise the
+        thread's active span; otherwise the span roots a fresh trace.
+        """
+        if parent is None:
+            parent = current_span()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id or None
+        else:
+            trace_id = self._new_trace_id()
+            parent_id = None
+        return Span(self, name, trace_id, self._new_span_id(), parent_id, attrs)
+
+    def span(
+        self,
+        name: str,
+        parent: Optional[Union[Span, SpanContext]] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """:meth:`start_span`, intended for ``with tracer.span(...)``."""
+        return self.start_span(name, parent=parent, attrs=attrs)
+
+    def record_child(
+        self,
+        parent: Span,
+        name: str,
+        perf_start: float,
+        perf_end: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Record a finished child span from two ``perf_counter`` stamps.
+
+        The hot-path shape: the gateway measures phase boundaries with
+        plain float stamps while the request runs, then — only for
+        sampled requests — materializes the child spans after the fact.
+        Wall-clock start is derived from the parent's, so exported
+        timelines line up.
+        """
+        child = Span(
+            self, name, parent.trace_id, self._new_span_id(),
+            parent.span_id, attrs,
+        )
+        child.tid = parent.tid
+        child.start_wall = parent.start_wall + (perf_start - parent.start_perf)
+        child.start_perf = perf_start
+        child.duration_s = max(0.0, perf_end - perf_start)
+        self._finish(child)
+        return child
+
+    def instant(self, name: str, **fields: Any) -> None:
+        """Record a zero-duration span (registry swaps, quarantines).
+
+        Attached to the thread's active trace when there is one, else a
+        root of its own.  Dropped entirely when the tracer is disabled —
+        instants are unsolicited, so they obey the sample switch.
+        """
+        if not self.enabled:
+            return
+        span = self.start_span(name, attrs=fields)
+        span.duration_s = 0.0
+        self._finish(span)
+
+    # ------------------------------------------------------------------
+    def _finish(self, span: Span) -> None:
+        record = span.to_dict()
+        with self._lock:
+            self._ring.append(record)
+            if len(self._ring) > self.ring_size:
+                del self._ring[: len(self._ring) - self.ring_size]
+        if self.sink is not None:
+            try:
+                self.sink.write(record)
+            except OSError:
+                pass  # telemetry must never fail the traced operation
+
+    def drain(
+        self,
+        limit: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        clear: bool = False,
+    ) -> List[Dict[str, Any]]:
+        """Finished spans, oldest first, optionally filtered/bounded."""
+        with self._lock:
+            spans = list(self._ring)
+            if clear:
+                self._ring.clear()
+        if trace_id is not None:
+            spans = [s for s in spans if s["trace"] == trace_id]
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return spans
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracer(sample={self.sample}, ring_size={self.ring_size}, "
+            f"spans={len(self._ring)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+def chrome_trace(
+    spans: Iterable[Dict[str, Any]], service: str = "repro"
+) -> Dict[str, Any]:
+    """Span dicts -> Chrome ``trace_event`` JSON (object form).
+
+    Every span becomes one complete (``"ph": "X"``) event with
+    microsecond ``ts``/``dur``; per-pid ``process_name`` metadata events
+    make Perfetto label the tracks.  The span identity rides in
+    ``args`` so :func:`spans_from_chrome` can invert the export.
+    """
+    events: List[Dict[str, Any]] = []
+    seen_pids: Dict[int, bool] = {}
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        if pid not in seen_pids:
+            seen_pids[pid] = True
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"{service} pid {pid}"},
+                }
+            )
+        events.append(
+            {
+                "name": span["name"],
+                "cat": service,
+                "ph": "X",
+                "ts": span["start"] * 1e6,
+                "dur": max(0.0, span.get("dur_s") or 0.0) * 1e6,
+                "pid": pid,
+                "tid": int(span.get("tid", 0)),
+                "args": {
+                    "trace": span["trace"],
+                    "span": span["span"],
+                    "parent": span.get("parent"),
+                    "attrs": span.get("attrs", {}),
+                    "events": span.get("events", []),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_from_chrome(document: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Inverse of :func:`chrome_trace` (metadata events are skipped)."""
+    spans: List[Dict[str, Any]] = []
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        spans.append(
+            {
+                "name": event["name"],
+                "trace": args.get("trace"),
+                "span": args.get("span"),
+                "parent": args.get("parent"),
+                "start": event["ts"] / 1e6,
+                "dur_s": event.get("dur", 0.0) / 1e6,
+                "pid": event.get("pid", 0),
+                "tid": event.get("tid", 0),
+                "attrs": args.get("attrs", {}),
+                "events": args.get("events", []),
+            }
+        )
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Process-global default tracer (pipeline / training instrumentation)
+# ----------------------------------------------------------------------
+_default_lock = threading.Lock()
+_default: Optional[Tracer] = None
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer, built once from the environment.
+
+    ``REPRO_TRACE_SAMPLE`` (float, default 0 = off), ``REPRO_TRACE_RING``
+    (int) and ``REPRO_TRACE_LOG`` (JSONL path) configure it; with the
+    default environment it is a disabled tracer whose only cost is the
+    ``enabled`` check at each instrumentation site.  The gateway does
+    *not* use this — it builds its own from :class:`ServerConfig`.
+    """
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                sample = float(os.environ.get(SAMPLE_ENV, "0") or "0")
+                ring = int(os.environ.get(RING_ENV, "512") or "512")
+                sink = None
+                log_path = os.environ.get(LOG_ENV)
+                if log_path:
+                    from .log import JsonlSink
+
+                    sink = JsonlSink(log_path)
+                _default = Tracer(
+                    sample=max(0.0, min(1.0, sample)), ring_size=ring, sink=sink
+                )
+    return _default
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Replace the process-global tracer; returns the previous one.
+
+    ``None`` makes the next :func:`get_tracer` re-read the environment.
+    The pipeline runner uses the returned value to restore whatever was
+    installed before it scoped its own run tracer in.
+    """
+    global _default
+    with _default_lock:
+        previous = _default
+        _default = tracer
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Chaos -> span annotation
+# ----------------------------------------------------------------------
+def _chaos_annotation(point: str, action: str) -> None:
+    """Annotate the active span with an armed failpoint hit."""
+    span = current_span()
+    if span is not None:
+        span.event("chaos", point=point, action=action)
+
+
+chaos.annotation_hook = _chaos_annotation

@@ -13,6 +13,9 @@ installation as ``python -m repro.pipeline``::
     repro cache prune --keep-last 3       # bound the cache on serving hosts
     repro cache clear
     repro report -o RESULTS.md            # manifests -> markdown
+    repro trace summary --input run.json  # span latency stats
+    repro trace slowest --url http://127.0.0.1:8035
+    repro trace export --input spans.jsonl -o trace.json  # Perfetto
     repro list                            # registered experiments
 
 Every ``run`` prints the rendered paper artifact and a per-stage cache
@@ -26,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..obs.cli import add_trace_parser, cmd_trace
 from .cache import StageCache
 from .registry import list_experiments
 from .report import render_report
@@ -132,6 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="omit the rendered experiment outputs from the report",
     )
     _add_cache_dir_arg(report)
+
+    add_trace_parser(sub)
 
     sub.add_parser("list", help="list registered experiments")
     return parser
@@ -277,6 +283,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "trace":
+            return cmd_trace(args)
         return _cmd_list()
     except BrokenPipeError:  # e.g. `repro report | head`
         return 0

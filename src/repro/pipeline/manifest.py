@@ -86,6 +86,12 @@ class RunManifest:
     started_at: float = field(default_factory=time.time)
     finished_at: Optional[float] = None
     stages: List[StageRecord] = field(default_factory=list)
+    #: Finished ``repro.obs`` span dicts for the run (root ``run:<name>``
+    #: plus one ``stage:<name>`` child per executed/loaded stage, and any
+    #: training epoch spans) — ``repro report`` renders the waterfall and
+    #: ``repro trace`` reads manifests directly.  ``None`` for manifests
+    #: written before tracing existed.
+    trace: Optional[List[Dict[str, Any]]] = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     @property

@@ -1,10 +1,11 @@
 """``repro report``: render run manifests into a markdown results report.
 
-The report has three parts: a summary table over every run found in the
+The report has four parts: a summary table over every run found in the
 runs directory (experiment, scale, when, duration, cache hits), a
 per-run stage breakdown (cache key, hit/miss, seconds, digest prefix),
-and — when the runner saved one — the rendered paper artifact itself in
-a fenced code block.  Pointing the command at a fresh runs directory
+the run's span-tree waterfall (when the manifest carries a ``trace``
+section from :mod:`repro.obs`), and — when the runner saved one — the
+rendered paper artifact itself in a fenced code block.  Pointing the command at a fresh runs directory
 after ``repro run all`` yields a self-contained record of the whole
 reproduction: what ran, how long each phase took, what was reused, and
 the resulting tables.
@@ -14,7 +15,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from .manifest import load_manifests
 
@@ -75,6 +76,48 @@ def _training_lines(record) -> List[str]:
     return lines
 
 
+def _trace_lines(spans: List[Dict[str, Any]]) -> List[str]:
+    """ASCII waterfall of one run's span tree (manifest ``trace``).
+
+    Each row is indented by depth and shows the span's offset from the
+    root, its duration, and any chaos annotations it carries.  Spans
+    whose parent fell off the tracer ring render as extra roots.
+    """
+    by_id = {s["span"]: s for s in spans}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent not in by_id:
+            parent = None  # orphaned (parent trimmed from the ring)
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: s["start"])
+    roots = children.get(None, [])
+    if not roots:
+        return []
+    origin = roots[0]["start"]
+    lines = ["Trace:", "", "```"]
+
+    def emit(span: Dict[str, Any], depth: int) -> None:
+        offset_ms = (span["start"] - origin) * 1e3
+        dur_ms = (span.get("dur_s") or 0.0) * 1e3
+        chaos_hits = sum(
+            1 for e in span.get("events", []) if e.get("name") == "chaos"
+        )
+        suffix = f"  [chaos x{chaos_hits}]" if chaos_hits else ""
+        lines.append(
+            f"{'  ' * depth}{span['name']}  "
+            f"+{offset_ms:.1f}ms  {dur_ms:.1f}ms{suffix}"
+        )
+        for child in children.get(span["span"], []):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    lines += ["```", ""]
+    return lines
+
+
 def render_report(
     runs_dir: PathLike, include_outputs: bool = True
 ) -> str:
@@ -122,6 +165,8 @@ def render_report(
         for s in m.stages:
             if s.training:
                 lines += _training_lines(s)
+        if m.trace:
+            lines += _trace_lines(m.trace)
         if include_outputs:
             output_path = Path(runs_dir) / f"{m.run_id}.txt"
             if output_path.is_file():

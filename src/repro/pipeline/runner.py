@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
@@ -30,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from itertools import count
 
 from .. import atomicio
+from ..obs.trace import Tracer, set_tracer
 from .cache import StageCache, default_cache_dir, stage_key
 from .manifest import RunManifest, StageRecord
 from .registry import (
@@ -171,6 +173,7 @@ def _execute_stages(
     config: PipelineConfig,
     manifest: Optional[RunManifest] = None,
     load_targets: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, Any]:
     """Materialize the ``targets`` stages of ``order`` (topo-sorted).
 
@@ -217,22 +220,34 @@ def _execute_stages(
         hit = not will_execute[spec.name]
         digest: Optional[str] = None
         training: Optional[Dict[str, Any]] = None
-        if spec.name not in needed:
-            pass  # subsumed by a cached consumer: no execute, no load
-        elif hit:
-            value, entry = cache.load(key)
-            digest = entry.digest
-            values[spec.name] = value
-        else:
-            ctx.current_stage_key = key
-            try:
-                value = spec.fn(ctx, *(values[i] for i in spec.inputs))
-            finally:
-                training = ctx.take_training()
-                ctx.current_stage_key = None
-            if can_cache:
-                digest = cache.store(key, spec.name, spec.serializer, value).digest
-            values[spec.name] = value
+        # One span per materialized stage (skipped-but-cached stages stay
+        # silent).  Activating the span makes it the parent of anything a
+        # stage body traces — training epoch spans nest under their stage.
+        span_cm = (
+            tracer.span(
+                f"stage:{spec.name}",
+                attrs={"key": key[:12], "cache_hit": hit},
+            )
+            if tracer is not None and spec.name in needed
+            else nullcontext()
+        )
+        with span_cm:
+            if spec.name not in needed:
+                pass  # subsumed by a cached consumer: no execute, no load
+            elif hit:
+                value, entry = cache.load(key)
+                digest = entry.digest
+                values[spec.name] = value
+            else:
+                ctx.current_stage_key = key
+                try:
+                    value = spec.fn(ctx, *(values[i] for i in spec.inputs))
+                finally:
+                    training = ctx.take_training()
+                    ctx.current_stage_key = None
+                if can_cache:
+                    digest = cache.store(key, spec.name, spec.serializer, value).digest
+                values[spec.name] = value
         if manifest is not None:
             manifest.stages.append(
                 StageRecord(
@@ -289,11 +304,27 @@ def run_experiment(
     manifest = _new_manifest(name, spec.title, ctx, config)
     run_id = manifest.run_id
 
-    values = _execute_stages(
-        resolve(spec.stage), {spec.stage}, ctx, cache, config, manifest
+    # A run traces itself unconditionally: a handful of stage spans per
+    # run costs nothing, and the manifest becomes a `repro trace` input.
+    # Installing the tracer as the process global for the duration lets
+    # stage bodies (training's TraceCallback) join the same trace.
+    tracer = Tracer(
+        sample=1.0, ring_size=2048, seed=ctx.scale.seed, service="repro-pipeline"
     )
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span(
+            f"run:{name}", attrs={"run_id": run_id, "scale": config.scale}
+        ):
+            values = _execute_stages(
+                resolve(spec.stage), {spec.stage}, ctx, cache, config, manifest,
+                tracer=tracer,
+            )
+    finally:
+        set_tracer(previous)
     result = values[spec.stage]
     manifest.finish()
+    manifest.trace = tracer.drain()
     if save_manifest:
         runs_dir = config.resolved_runs_dir()
         manifest.save(runs_dir)
@@ -326,11 +357,28 @@ def run_stage(
     ctx = StageContext(config)
     cache = StageCache(config.resolved_cache_dir())
     manifest: Optional[RunManifest] = None
+    tracer: Optional[Tracer] = None
     if save_manifest:
         manifest = _new_manifest(name, f"stage {name}", ctx, config)
-    values = _execute_stages(resolve(name), {name}, ctx, cache, config, manifest)
+        tracer = Tracer(
+            sample=1.0, ring_size=2048, seed=ctx.scale.seed,
+            service="repro-pipeline",
+        )
+    if tracer is not None:
+        previous = set_tracer(tracer)
+        try:
+            with tracer.span(f"run:{name}", attrs={"scale": config.scale}):
+                values = _execute_stages(
+                    resolve(name), {name}, ctx, cache, config, manifest,
+                    tracer=tracer,
+                )
+        finally:
+            set_tracer(previous)
+    else:
+        values = _execute_stages(resolve(name), {name}, ctx, cache, config, manifest)
     if manifest is not None:
         manifest.finish()
+        manifest.trace = tracer.drain() if tracer is not None else None
         manifest.save(config.resolved_runs_dir())
     return values[name]
 

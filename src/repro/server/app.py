@@ -33,13 +33,16 @@ import json
 import os
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .. import chaos
+from .. import __version__, chaos
 from ..core.config import ServerConfig
 from ..core.ms_module import Explanation
+from ..obs.log import JsonlSink
+from ..obs.trace import Span, SpanContext, Tracer, chrome_trace, parse_header
 from .batcher import BatcherClosed, MicroBatcher, SubmitTimeout
 from .metrics import GatewayMetrics
 from .registry import ModelRegistry, NoModelError, ServingHandle, watch
@@ -102,6 +105,42 @@ def explanation_to_dict(explanation: Explanation) -> Dict[str, Any]:
     }
 
 
+@dataclass(frozen=True)
+class _ReqMeta:
+    """Per-request metadata riding through the micro-batcher.
+
+    The batcher treats ``meta`` as opaque; the flush unpacks the
+    requested ``k`` and, for traced requests, the span context that
+    links the request's trace to the shared batch-scoring span.
+    """
+
+    k: Optional[int]
+    trace: Optional[SpanContext] = None
+
+
+@dataclass(frozen=True)
+class _FlushInfo:
+    """Flush-shared context returned to every request in a batch.
+
+    Carries the model handle that answered the flush (the existing
+    contract) plus the ``perf_counter`` stamps the request path turns
+    into its ``queue_wait`` / ``batch_wait`` / ``score`` phases, and
+    the batch span (if any traced request rode in this flush).
+    """
+
+    handle: ServingHandle
+    flush_started: float
+    score_started: float
+    score_ended: float
+    rows: int
+    requests: int
+    batch_span: Optional[SpanContext] = None
+
+
+#: The request-lifecycle phases a traced ``suggest`` decomposes into.
+SUGGEST_PHASES = ("parse", "queue_wait", "batch_wait", "score", "serialize")
+
+
 class GatewayApp:
     """Online serving gateway over a versioned model registry.
 
@@ -135,6 +174,21 @@ class GatewayApp:
             registry.score_block = self.config.score_block
         self.metrics = GatewayMetrics(self.config.latency_reservoir)
         self.started_at = time.monotonic()
+        #: Request tracer (see :mod:`repro.obs`).  With the default
+        #: ``trace_sample=0.0`` only requests that *arrive* with an
+        #: ``X-Repro-Trace`` header are traced; everything else pays a
+        #: single float comparison.
+        self._trace_sink = (
+            JsonlSink(self.config.trace_log) if self.config.trace_log else None
+        )
+        self.tracer = Tracer(
+            sample=self.config.trace_sample,
+            ring_size=self.config.trace_ring,
+            service="repro-server",
+            sink=self._trace_sink,
+        )
+        #: Registry lifecycle (swap/quarantine) lands as instant spans.
+        registry.trace_events = self._registry_event
         #: Circuit breaker around the scoring path; ``None`` when
         #: ``breaker_threshold`` is 0 (disabled).
         self.breaker: Optional[CircuitBreaker] = (
@@ -176,47 +230,95 @@ class GatewayApp:
             self._watch_thread.start()
 
     # ------------------------------------------------------------------
-    def _flush(self, stacked: np.ndarray, items) -> Tuple[list, ServingHandle]:
+    def _registry_event(self, event: str, fields: Dict[str, Any]) -> None:
+        """Registry swap/quarantine observer -> instant span (if sampled)."""
+        self.tracer.instant(event, **fields)
+
+    def _flush(self, stacked: np.ndarray, items) -> Tuple[list, _FlushInfo]:
         """Batch executor: one scoring call + one top-k call per distinct k.
 
-        ``items`` is ``[(row_count, k or None), ...]``.  Scoring *and*
+        ``items`` is ``[(row_count, _ReqMeta), ...]``.  Scoring *and*
         the top-k/re-rank step run on the whole coalesced matrix (top-k
         is a per-row pure function, so batching it preserves bitwise
         equality with sequential ``suggest``); each request gets back
         its ``(scores_rows, suggestion_rows)`` slice.  The model handle
         is resolved once per flush: every request in a flush is answered
         by one consistent model version.
+
+        Returns a :class:`_FlushInfo` shared by every request in the
+        flush: the handle plus the phase-boundary timestamps.  When any
+        request in the batch is traced, the whole scoring step runs
+        under one ``batch_score`` span parented to the first traced
+        request — the other traced requests link to it by id, which is
+        how N request traces share a single kernel invocation.
         """
+        flush_started = time.perf_counter()
         handle = self.registry.active()
         service = handle.service
-        try:
-            # ``gateway.score`` is the chaos harness's hook into the hot
-            # path: an ``err`` rule simulates a broken model (feeds the
-            # breaker), a ``sleep`` rule injects scoring latency (feeds
-            # the deadline tests).
-            chaos.failpoint("gateway.score")
-            scores = service.predict_scores(stacked)
-        except Exception:
-            # One flush failure is one scoring failure, however many
-            # requests were coalesced into it — record it here, not per
-            # request, so the breaker threshold means what it says.
-            if self.breaker is not None:
-                self.breaker.record_failure()
-            raise
-        if self.breaker is not None:
-            self.breaker.record_success()
-        distinct_k = {k if k is not None else service.config.default_k
-                      for _rows, k in items}
-        topk = {k: service.topk_from_scores(scores, k) for k in distinct_k}
-        results = []
-        offset = 0
-        for rows, k in items:
-            k = k if k is not None else service.config.default_k
-            results.append(
-                (scores[offset : offset + rows], topk[k][offset : offset + rows])
+        traced = [meta.trace for _rows, meta in items if meta.trace is not None]
+        batch_span: Optional[Span] = None
+        if traced:
+            batch_span = self.tracer.start_span(
+                "batch_score",
+                parent=traced[0],
+                attrs={
+                    "rows": int(stacked.shape[0]),
+                    "requests": len(items),
+                    "traces": sorted({t.trace_id for t in traced}),
+                    "version": handle.version.name,
+                },
             )
-            offset += rows
-        return results, handle
+            # Activate on the batcher thread so chaos hits inside the
+            # scoring call annotate this span.
+            batch_span.__enter__()
+        score_started = time.perf_counter()
+        try:
+            try:
+                # ``gateway.score`` is the chaos harness's hook into the
+                # hot path: an ``err`` rule simulates a broken model
+                # (feeds the breaker), a ``sleep`` rule injects scoring
+                # latency (feeds the deadline tests).
+                chaos.failpoint("gateway.score")
+                scores = service.predict_scores(stacked)
+            except Exception:
+                # One flush failure is one scoring failure, however many
+                # requests were coalesced into it — record it here, not
+                # per request, so the breaker threshold means what it
+                # says.
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            distinct_k = {meta.k if meta.k is not None else service.config.default_k
+                          for _rows, meta in items}
+            topk = {k: service.topk_from_scores(scores, k) for k in distinct_k}
+            results = []
+            offset = 0
+            for rows, meta in items:
+                k = meta.k if meta.k is not None else service.config.default_k
+                results.append(
+                    (scores[offset : offset + rows], topk[k][offset : offset + rows])
+                )
+                offset += rows
+        except BaseException as exc:
+            if batch_span is not None:
+                batch_span.__exit__(type(exc), exc, exc.__traceback__)
+                batch_span = None
+            raise
+        finally:
+            if batch_span is not None:
+                batch_span.__exit__(None, None, None)
+        score_ended = time.perf_counter()
+        return results, _FlushInfo(
+            handle=handle,
+            flush_started=flush_started,
+            score_started=score_started,
+            score_ended=score_ended,
+            rows=int(stacked.shape[0]),
+            requests=len(items),
+            batch_span=batch_span.context() if batch_span is not None else None,
+        )
 
     def _on_swap(self, version) -> None:
         self.metrics.counters.inc(
@@ -224,16 +326,24 @@ class GatewayApp:
         )
 
     # ------------------------------------------------------------------
-    def suggest(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+    def suggest(
+        self, body: Dict[str, Any], trace_parent: Optional[str] = None
+    ) -> Tuple[int, Dict[str, Any]]:
         """``POST /v1/suggest``: micro-batched top-k suggestions.
 
         Body: ``{"features": [[...]] | [...], "k": int?,
         "return_scores": bool?}``.  Returns suggestions (one id list per
         patient row), the serving version, and optionally the raw score
         rows.
+
+        ``trace_parent`` is the raw ``X-Repro-Trace`` header value, if
+        the client sent one: the request is then traced unconditionally
+        and its spans join the caller's trace.  Otherwise the sampler
+        (``--trace-sample``) decides.  Traced responses carry
+        ``trace_id``; the HTTP layer echoes it as ``X-Repro-Trace``.
         """
         started = time.perf_counter()
-        status, response = self._suggest_inner(body)
+        status, response = self._suggest_inner(body, trace_parent)
         self.metrics.observe_request(
             "suggest", status, time.perf_counter() - started
         )
@@ -271,7 +381,54 @@ class GatewayApp:
             "retry_after_s": round(max(retry_after_s, 0.001), 3),
         }
 
-    def _suggest_inner(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+    def _suggest_inner(
+        self, body: Dict[str, Any], trace_parent: Optional[str] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Sampling decision, phase bookkeeping, and span finalization.
+
+        The request work itself lives in :meth:`_suggest_phased`, which
+        appends ``(phase, perf_start, perf_end)`` triples as it crosses
+        each boundary.  Phase *timestamps* are collected for every
+        request (three ``perf_counter`` calls per flush plus per-request
+        arithmetic — they feed the ``/metrics`` phase histograms);
+        *spans* are only materialized for sampled requests.
+        """
+        ctx = parse_header(trace_parent)
+        root: Optional[Span] = None
+        if ctx is not None or self.tracer.sample_decision():
+            root = self.tracer.start_span("request.suggest", parent=ctx)
+            if self.worker_info is not None:
+                root.set("worker", self.worker_info["worker"])
+        phases: List[Tuple[str, float, float]] = []
+        try:
+            status, response = self._suggest_phased(body, root, phases)
+        except BaseException as exc:
+            if root is not None:
+                root.set("error", f"{type(exc).__name__}: {exc}")
+                root.end()
+            raise
+        if status == 200:
+            self.metrics.observe_phases(
+                [(name, end - start) for name, start, end in phases]
+            )
+        if root is not None:
+            root.set("status", status)
+            root.end()
+            # Children are derived from the recorded stamps *after* the
+            # root closes, so their bookkeeping cost never widens the
+            # parent they must account for.
+            for name, start, end in phases:
+                self.tracer.record_child(root, name, start, end)
+            response["trace_id"] = root.trace_id
+        return status, response
+
+    def _suggest_phased(
+        self,
+        body: Dict[str, Any],
+        root: Optional[Span],
+        phases: List[Tuple[str, float, float]],
+    ) -> Tuple[int, Dict[str, Any]]:
+        t0 = root.start_perf if root is not None else time.perf_counter()
         started = time.monotonic()
         try:
             handle = self.registry.active()
@@ -323,9 +480,14 @@ class GatewayApp:
                     deadline_s,
                 )
             timeout = min(timeout, remaining)
+        t_submit = time.perf_counter()
+        phases.append(("parse", t0, t_submit))
+        meta = _ReqMeta(
+            k=k, trace=root.context() if root is not None else None
+        )
         try:
-            (scores, suggestions), flushed_by = self.batcher.submit(
-                x, meta=k, timeout=timeout
+            (scores, suggestions), info = self.batcher.submit(
+                x, meta=meta, timeout=timeout
             )
         except SubmitTimeout as exc:
             if deadline_s is not None and timeout < self.config.submit_timeout_s:
@@ -356,6 +518,17 @@ class GatewayApp:
                 "error": f"scoring failed: {type(exc).__name__}: {exc}",
                 "retry_after_s": round(max(retry_after, 0.001), 3),
             }
+        t_wake = time.perf_counter()
+        phases.append(("queue_wait", t_submit, info.flush_started))
+        phases.append(("batch_wait", info.flush_started, info.score_started))
+        phases.append(("score", info.score_started, info.score_ended))
+        if root is not None and info.batch_span is not None:
+            root.event(
+                "batch",
+                span=info.batch_span.span_id,
+                rows=info.rows,
+                requests=info.requests,
+            )
         if deadline_s is not None and time.monotonic() - started > deadline_s:
             # The result exists but arrived past the budget: the caller
             # has (by contract) already given up, so the honest answer
@@ -369,12 +542,13 @@ class GatewayApp:
         response: Dict[str, Any] = {
             "suggestions": suggestions.tolist(),
             "k": int(suggestions.shape[1]),
-            "version": flushed_by.version.name,
+            "version": info.handle.version.name,
         }
         if self.worker_info is not None:
             response["worker"] = self.worker_info["worker"]
         if return_scores:
             response["scores"] = scores.tolist()
+        phases.append(("serialize", t_wake, time.perf_counter()))
         return 200, response
 
     def explain(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
@@ -431,6 +605,11 @@ class GatewayApp:
         base: Dict[str, Any] = {
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "queue_depth": self.batcher.queue_depth,
+            # Package version and sampling rate, so probes and
+            # dashboards stop scraping /metrics for liveness metadata.
+            # ("version" is taken by the *model* version below.)
+            "repro_version": __version__,
+            "trace_sample": self.tracer.sample,
         }
         if self.worker_info is not None:
             base["worker"] = dict(self.worker_info)
@@ -457,6 +636,39 @@ class GatewayApp:
             }
         )
         return 200, base
+
+    def trace_payload(
+        self, query: Optional[Dict[str, str]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``GET /v1/trace``: recent finished spans from the in-memory ring.
+
+        Query parameters: ``trace=<id>`` filters to one trace,
+        ``limit=<n>`` bounds the span count, ``format=chrome`` returns a
+        Chrome ``trace_event`` document (Perfetto-loadable as saved)
+        instead of the default ``{"spans": [...]}`` payload.
+
+        In a ``--workers N`` pool each worker owns its ring, so one GET
+        sees one worker's spans; clients chasing a specific trace retry
+        until the kernel routes them to the worker that served it (the
+        payload's ``pid`` says who answered).
+        """
+        query = query or {}
+        limit: Optional[int] = None
+        if "limit" in query:
+            try:
+                limit = max(0, int(query["limit"]))
+            except (TypeError, ValueError):
+                return 400, {"error": "limit must be an integer"}
+        trace_id = query.get("trace") or None
+        spans = self.tracer.drain(limit=limit, trace_id=trace_id)
+        if query.get("format") == "chrome":
+            return 200, chrome_trace(spans, service=self.tracer.service)
+        return 200, {
+            "spans": spans,
+            "count": len(spans),
+            "sample": self.tracer.sample,
+            "pid": os.getpid(),
+        }
 
     def versions(self) -> Tuple[int, Dict[str, Any]]:
         """``GET /v1/versions``: what the artifact root currently holds."""
@@ -520,6 +732,7 @@ class GatewayApp:
             ),
             ("repro_server_degraded", {}, 1.0 if self.degraded else 0.0),
             ("repro_server_draining", {}, 1.0 if self.draining else 0.0),
+            ("repro_server_trace_sample", {}, self.tracer.sample),
         ]
         if self.breaker is not None:
             gauges.extend(
@@ -607,6 +820,8 @@ class GatewayApp:
         if self._watch_thread is not None:
             self._watch_thread.join(timeout=5.0)
         self.batcher.close(flush_remaining=True)
+        if self._trace_sink is not None:
+            self._trace_sink.close()
 
     def __enter__(self) -> "GatewayApp":
         return self

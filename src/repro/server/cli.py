@@ -130,6 +130,21 @@ def build_parser() -> argparse.ArgumentParser:
         "the scoring path again",
     )
     parser.add_argument(
+        "--trace-sample", type=float, default=defaults.trace_sample,
+        help="fraction of requests traced by repro.obs (0 = only "
+        "requests carrying an X-Repro-Trace header, 1 = everything); "
+        "spans are served by GET /v1/trace",
+    )
+    parser.add_argument(
+        "--trace-ring", type=int, default=defaults.trace_ring,
+        help="finished spans kept in memory per process for GET /v1/trace",
+    )
+    parser.add_argument(
+        "--trace-log", default=defaults.trace_log, metavar="FILE",
+        help="append every finished span to this JSONL file "
+        "(size-rotated; off by default)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
@@ -154,6 +169,9 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         queue_limit=args.queue_limit,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
+        trace_sample=args.trace_sample,
+        trace_ring=args.trace_ring,
+        trace_log=args.trace_log,
     )
     config.validate()
     return config

@@ -35,7 +35,9 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
+from ..obs.trace import TRACE_HEADER
 from .app import GatewayApp, RequestError, parse_json_body
 
 #: Hard cap on accepted request bodies (1 MiB is ~1300 patient rows).
@@ -106,12 +108,19 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
         if tracker is not None:
             tracker.begin()
         try:
-            if self.path == "/healthz":
+            parts = urlsplit(self.path)
+            if parts.path == "/healthz":
                 self._send_json(*self.app.healthz())
-            elif self.path == "/metrics":
+            elif parts.path == "/metrics":
                 self._send_text(200, self.app.metrics_text())
-            elif self.path == "/v1/versions":
+            elif parts.path == "/v1/versions":
                 self._send_json(*self.app.versions())
+            elif parts.path == "/v1/trace":
+                query = {
+                    key: values[-1]
+                    for key, values in parse_qs(parts.query).items()
+                }
+                self._send_json(*self.app.trace_payload(query))
             else:
                 self._send_json(
                     404, {"error": f"no such endpoint: GET {self.path}"}
@@ -168,7 +177,15 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             except RequestError as exc:
                 self._send_json(400, {"error": str(exc)})
                 return
-            status, response = handler(body)
+            if self.path == "/v1/suggest":
+                # Propagate the caller's trace context (if any) so the
+                # request's spans join the caller's trace across the
+                # process boundary.
+                status, response = self.app.suggest(
+                    body, trace_parent=self.headers.get(TRACE_HEADER)
+                )
+            else:
+                status, response = handler(body)
             self._send_json(status, response)
         except Exception as exc:  # never drop the connection responseless
             self._send_internal_error(exc)
@@ -212,12 +229,18 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         raw = json.dumps(payload).encode("utf-8")
-        headers = None
+        headers: Optional[Dict[str, str]] = None
         if status in (429, 503) and "retry_after_s" in payload:
             # The app layer picks the hint (breaker cooldown remaining,
             # deadline headroom); the transport promotes it to the
             # standard header so plain HTTP clients can honor it.
             headers = {"Retry-After": str(payload["retry_after_s"])}
+        if "trace_id" in payload:
+            # Traced responses echo the server-side trace id, so a
+            # client (or the load generator) can join its latency
+            # measurement to the server's span decomposition.
+            headers = dict(headers or {})
+            headers[TRACE_HEADER] = str(payload["trace_id"])
         self._send_bytes(status, raw, "application/json", headers)
 
     def _send_text(self, status: int, text: str) -> None:

@@ -48,7 +48,7 @@ import socket
 import sys
 import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
@@ -143,6 +143,13 @@ class LoadReport:
             responses across the whole run (0 without a
             :class:`RetryPolicy`).  ``errors`` counts only requests
             whose *final* attempt still failed.
+        traced_requests: successful requests whose response carried a
+            server trace id (``X-Repro-Trace`` / body ``trace_id``) —
+            nonzero only when the gateway samples (``--trace-sample``).
+        slowest_traces: the slowest traced requests as
+            ``{"latency_ms", "trace_id"}``, so client-observed latency
+            joins the server-side span decomposition: feed a trace id
+            to ``GET /v1/trace?trace=...`` or ``repro trace``.
     """
 
     requests: int
@@ -158,6 +165,8 @@ class LoadReport:
     mode: str = "closed"
     offered_rps: float = 0.0
     retries: int = 0
+    traced_requests: int = 0
+    slowest_traces: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation."""
@@ -169,6 +178,10 @@ class InprocTarget:
 
     def __init__(self, app) -> None:
         self.app = app
+        #: Server trace id of the most recent response (best-effort:
+        #: in-process workers share this target, so under concurrency
+        #: this is telemetry, not an exact per-request join).
+        self.last_trace_id: Optional[str] = None
 
     def connect(self):
         """Workers share the app; nothing per-worker to set up."""
@@ -176,15 +189,17 @@ class InprocTarget:
 
     def request(self, payload: Dict[str, Any]) -> int:
         """One suggest call; returns the HTTP-equivalent status code."""
-        status, _body = self.app.suggest(payload)
-        return status
+        return self.request_with_hint(payload)[0]
 
     def request_with_hint(
         self, payload: Dict[str, Any]
     ) -> Tuple[int, Optional[float]]:
         """One suggest call plus the body's ``retry_after_s`` hint."""
         status, body = self.app.suggest(payload)
-        hint = body.get("retry_after_s") if isinstance(body, dict) else None
+        hint = None
+        if isinstance(body, dict):
+            hint = body.get("retry_after_s")
+            self.last_trace_id = body.get("trace_id")
         return status, hint
 
     def batch_stats(self) -> float:
@@ -218,6 +233,9 @@ class _HTTPWorkerConnection:
 
     def __init__(self, host: str, port: int, timeout: float) -> None:
         self._host, self._port, self._timeout = host, port, timeout
+        #: Server trace id (``X-Repro-Trace``) of the last response,
+        #: None when the gateway did not trace that request.
+        self.last_trace_id: Optional[str] = None
         self._conn = self._connect()
 
     def _connect(self) -> http.client.HTTPConnection:
@@ -248,6 +266,7 @@ class _HTTPWorkerConnection:
             )
             response = self._conn.getresponse()
             response.read()  # drain so the connection can be reused
+            self.last_trace_id = response.getheader("X-Repro-Trace")
             retry_after = response.getheader("Retry-After")
             hint: Optional[float] = None
             if retry_after is not None:
@@ -315,6 +334,7 @@ def run_load(
     latencies: List[List[float]] = [[] for _ in range(concurrency)]
     errors = [0] * concurrency
     retries = [0] * concurrency
+    traced: List[List[Tuple[float, str]]] = [[] for _ in range(concurrency)]
     stop = threading.Event()
     barrier = threading.Barrier(concurrency + 1)
 
@@ -344,6 +364,9 @@ def run_load(
             retries[index] += attempts
             if status == 200:
                 mine.append(elapsed)
+                trace_id = getattr(conn, "last_trace_id", None)
+                if trace_id:
+                    traced[index].append((elapsed, trace_id))
             else:
                 errors[index] += 1
             i += 1
@@ -401,7 +424,23 @@ def run_load(
         concurrency=concurrency,
         mean_batch_rows=target.batch_stats(),
         retries=sum(retries),
+        **_trace_summary(traced),
     )
+
+
+def _trace_summary(
+    traced: List[List[Tuple[float, str]]], top_n: int = 8
+) -> Dict[str, Any]:
+    """The ``traced_requests`` / ``slowest_traces`` report fields."""
+    flat = [pair for worker_pairs in traced for pair in worker_pairs]
+    flat.sort(key=lambda pair: -pair[0])
+    return {
+        "traced_requests": len(flat),
+        "slowest_traces": [
+            {"latency_ms": round(latency * 1e3, 3), "trace_id": trace_id}
+            for latency, trace_id in flat[:top_n]
+        ],
+    }
 
 
 def poisson_schedule(
@@ -522,6 +561,7 @@ def run_open_loop(
     latencies: List[List[float]] = [[] for _ in range(max_inflight)]
     errors = [0] * max_inflight
     retries = [0] * max_inflight
+    traced: List[List[Tuple[float, str]]] = [[] for _ in range(max_inflight)]
     connect_failed = threading.Event()
 
     def sender(index: int) -> None:
@@ -548,6 +588,9 @@ def run_open_loop(
             retries[index] += attempts
             if status == 200:
                 mine.append(completed - scheduled_at)
+                trace_id = getattr(conn, "last_trace_id", None)
+                if trace_id:
+                    traced[index].append((completed - scheduled_at, trace_id))
             else:
                 errors[index] += 1
 
@@ -595,6 +638,7 @@ def run_open_loop(
         mode=mode,
         offered_rps=schedule.size / span if span > 0 else 0.0,
         retries=sum(retries),
+        **_trace_summary(traced),
     )
 
 

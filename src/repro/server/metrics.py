@@ -32,6 +32,54 @@ BATCH_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 #: Quantiles exposed by the latency summary.
 QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
 
+#: Upper edges (seconds) of the per-phase latency histogram: log-spaced
+#: from 100 µs to 1 s, wide enough for queue waits under injected chaos
+#: sleeps yet fine enough to separate parse (~10 µs) from scoring (~ms).
+PHASE_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+#: ``# HELP`` text for every metric family this module renders itself.
+#: App-supplied gauges carry their help inline via ``extra_gauges``.
+HELP: Dict[str, str] = {
+    "repro_server_request_latency_seconds":
+        "End-to-end request latency by endpoint (reservoir summary).",
+    "repro_server_batch_size":
+        "Coalesced rows per micro-batch flush.",
+    "repro_server_phase_latency_seconds":
+        "Request lifecycle phase durations "
+        "(parse/queue_wait/batch_wait/score/serialize).",
+    "repro_server_requests_total":
+        "Finished requests by endpoint and HTTP status.",
+    "repro_server_shed_total":
+        "Requests shed by admission control, deadline, or the breaker.",
+    "repro_server_scoring_failures_total":
+        "Batch flushes that raised inside the scoring call.",
+    "repro_server_model_swaps_total":
+        "Model hot-swaps by trigger (reload endpoint or watcher).",
+}
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Order matters: backslashes first, or the escapes introduced for
+    quotes/newlines would themselves get re-escaped.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _help_text(name: str) -> str:
+    """HELP text for a family: curated when known, generic otherwise."""
+    base = name[:-len("_total")] if name.endswith("_total") else name
+    return HELP.get(name) or HELP.get(base) or f"Gateway metric {name}."
+
 
 class CounterSet:
     """Labelled monotonic counters (name, label-tuple) -> int."""
@@ -146,10 +194,52 @@ class BatchSizeHistogram:
         return out
 
 
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (seconds) with exact count/sum.
+
+    Unlike :class:`LatencyReservoir` this is a true Prometheus
+    histogram — cumulative ``le`` buckets that aggregate across
+    processes — which is what the per-phase decomposition needs: phase
+    durations from N pool workers must be summable by a scraper.
+    """
+
+    def __init__(self, buckets: Sequence[float] = PHASE_BUCKETS) -> None:
+        self.buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            for i, edge in enumerate(self.buckets):
+                if seconds <= edge:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """Cumulative (le, count) pairs ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for edge, c in zip(self.buckets, counts):
+            running += c
+            out.append((repr(edge), running))
+        out.append(("+Inf", running + counts[-1]))
+        return out
+
+
 def _fmt_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 
@@ -168,6 +258,7 @@ class GatewayMetrics:
         self.batch_sizes = BatchSizeHistogram()
         self._reservoir_size = reservoir_size
         self._latency: Dict[str, LatencyReservoir] = {}
+        self._phases: Dict[str, LatencyHistogram] = {}
         self._lock = threading.Lock()
 
     def latency(self, endpoint: str) -> LatencyReservoir:
@@ -187,6 +278,20 @@ class GatewayMetrics:
         )
         self.latency(endpoint).observe(seconds)
 
+    def phase(self, name: str) -> LatencyHistogram:
+        """The histogram for lifecycle phase ``name`` (created on use)."""
+        with self._lock:
+            histogram = self._phases.get(name)
+            if histogram is None:
+                histogram = LatencyHistogram()
+                self._phases[name] = histogram
+            return histogram
+
+    def observe_phases(self, durations: Iterable[Tuple[str, float]]) -> None:
+        """Record one request's ``(phase, seconds)`` decomposition."""
+        for name, seconds in durations:
+            self.phase(name).observe(max(0.0, seconds))
+
     def render(self, extra_gauges: Optional[Iterable[Tuple[str, Dict[str, str], float]]] = None) -> str:
         """Prometheus text exposition of every collector.
 
@@ -196,17 +301,23 @@ class GatewayMetrics:
         """
         lines: List[str] = []
 
-        # counters.items() is sorted by (name, labels): one TYPE header
-        # per family, immediately followed by that family's samples.
+        # counters.items() is sorted by (name, labels): one HELP/TYPE
+        # header per family, immediately followed by its samples.
         current_family = None
         for name, labels, value in self.counters.items():
             if name != current_family:
+                lines.append(f"# HELP {name} {_help_text(name)}")
                 lines.append(f"# TYPE {name} counter")
                 current_family = name
             lines.append(f"{name}{_fmt_labels(labels)} {value}")
 
         with self._lock:
             endpoints = sorted(self._latency)
+            phase_names = sorted(self._phases)
+        lines.append(
+            "# HELP repro_server_request_latency_seconds "
+            + _help_text("repro_server_request_latency_seconds")
+        )
         lines.append("# TYPE repro_server_request_latency_seconds summary")
         for endpoint in endpoints:
             count, total, sample = self._latency[endpoint].snapshot()
@@ -222,13 +333,41 @@ class GatewayMetrics:
             lines.append(f"repro_server_request_latency_seconds_count{base} {count}")
             lines.append(f"repro_server_request_latency_seconds_sum{base} {total:.9f}")
 
+        lines.append(
+            "# HELP repro_server_batch_size "
+            + _help_text("repro_server_batch_size")
+        )
         lines.append("# TYPE repro_server_batch_size histogram")
         for le, value in self.batch_sizes.cumulative():
             lines.append(f'repro_server_batch_size_bucket{{le="{le}"}} {value}')
         lines.append(f"repro_server_batch_size_count {self.batch_sizes.count}")
         lines.append(f"repro_server_batch_size_sum {self.batch_sizes.total}")
 
+        if phase_names:
+            lines.append(
+                "# HELP repro_server_phase_latency_seconds "
+                + _help_text("repro_server_phase_latency_seconds")
+            )
+            lines.append("# TYPE repro_server_phase_latency_seconds histogram")
+            for phase_name in phase_names:
+                histogram = self._phases[phase_name]
+                for le, value in histogram.cumulative():
+                    labels = _fmt_labels({"phase": phase_name, "le": le})
+                    lines.append(
+                        f"repro_server_phase_latency_seconds_bucket{labels} {value}"
+                    )
+                base = _fmt_labels({"phase": phase_name})
+                lines.append(
+                    f"repro_server_phase_latency_seconds_count{base} "
+                    f"{histogram.count}"
+                )
+                lines.append(
+                    f"repro_server_phase_latency_seconds_sum{base} "
+                    f"{histogram.total:.9f}"
+                )
+
         for name, labels, value in extra_gauges or ():
+            lines.append(f"# HELP {name} {_help_text(name)}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name}{_fmt_labels(labels)} {value}")
         return "\n".join(lines) + "\n"

@@ -51,12 +51,17 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..core.config import ServerConfig
+from ..obs.log import get_logger
 from .app import GatewayApp
 from .http import build_server
 from .registry import ModelRegistry
 from .stats import StatsBoard, write_pool_state
 
 PathLike = Union[str, Path]
+
+#: Supervisor incidents (worker exits, drain-timeout kills) go through
+#: the structured logger: one JSON object per line on stderr.
+_log = get_logger("repro.server.pool")
 
 #: Supervision loop tick (reap + respawn scheduling granularity).
 POLL_INTERVAL_S = 0.05
@@ -315,12 +320,13 @@ class WorkerSupervisor:
             delay = backoff_delay(
                 self.restarts[worker_id], self.backoff_base, self.backoff_cap
             )
-            print(
-                f"pool: worker {worker_id} (pid {pid}) exited "
-                f"(status {status}, uptime {uptime:.1f}s); "
-                f"respawning in {delay:.2f}s",
-                file=sys.stderr,
-                flush=True,
+            _log.warning(
+                "worker_exited",
+                worker=worker_id,
+                pid=pid,
+                status=status,
+                uptime_s=round(uptime, 1),
+                respawn_in_s=round(delay, 2),
             )
             self.respawn_due[worker_id] = time.monotonic() + delay
         return changed
@@ -396,12 +402,7 @@ class WorkerSupervisor:
             if self.pids:
                 time.sleep(POLL_INTERVAL_S)
         for worker_id, pid in list(self.pids.items()):
-            print(
-                f"pool: worker {worker_id} (pid {pid}) did not drain in "
-                "time; killing",
-                file=sys.stderr,
-                flush=True,
-            )
+            _log.error("worker_drain_timeout_kill", worker=worker_id, pid=pid)
             try:
                 os.kill(pid, signal.SIGKILL)
                 os.waitpid(pid, 0)

@@ -33,7 +33,7 @@ import tempfile
 import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from .. import atomicio, chaos
 from ..core.config import ServingConfig
@@ -356,6 +356,21 @@ class ModelRegistry:
         #: Entries whose content vanishes from disk are pruned on the
         #: next :meth:`reload`, so the dict stays bounded.
         self.quarantined: Dict[str, str] = {}
+        #: Optional observer called as ``trace_events(name, fields)``
+        #: on swap and quarantine.  The gateway wires this to its
+        #: tracer so registry lifecycle shows up as instant spans;
+        #: observer errors are swallowed — telemetry must never block
+        #: a hot-swap.
+        self.trace_events: Optional[Callable[[str, Dict[str, Any]], None]] = None
+
+    def _emit_event(self, name: str, fields: Dict[str, Any]) -> None:
+        observer = self.trace_events
+        if observer is None:
+            return
+        try:
+            observer(name, fields)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def versions(self) -> List[ModelVersion]:
@@ -458,9 +473,23 @@ class ModelRegistry:
                 except Exception as exc:
                     self.reload_errors += 1
                     self.quarantined[key] = f"{type(exc).__name__}: {exc}"
+                    self._emit_event(
+                        "registry.quarantine",
+                        {"version": key, "reason": self.quarantined[key]},
+                    )
                     continue
                 self._active = ServingHandle(version=target, service=service)
                 self.swaps += 1
+                self._emit_event(
+                    "registry.swap",
+                    {
+                        "version": target.name,
+                        "digest": target.digest[:8],
+                        "previous": (
+                            current.version.name if current is not None else None
+                        ),
+                    },
+                )
                 return True, target
             if current is not None:
                 # Everything newer is quarantined: keep last-known-good.

@@ -17,6 +17,7 @@ from .callbacks import (
     LossCurveLogger,
     LRScheduler,
     Timer,
+    TraceCallback,
 )
 from .state import (
     TrainState,
@@ -42,6 +43,7 @@ __all__ = [
     "PairBatch",
     "PairNegativeSampler",
     "Timer",
+    "TraceCallback",
     "TrainState",
     "Trainer",
     "TrainingLog",

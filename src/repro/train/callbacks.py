@@ -237,6 +237,94 @@ class LossCurveLogger(Callback):
             self.printer(line)
 
 
+class TraceCallback(Callback):
+    """Emit :mod:`repro.obs` spans for one fit: ``fit`` plus per-epoch.
+
+    The fit span nests under whatever span is active on the calling
+    thread — training inside a pipeline run lands under its
+    ``stage:<name>`` span, so ``repro report`` waterfalls show epochs
+    inside stages.  With a disabled tracer every hook is a no-op, so
+    :func:`repro.train.fit_or_resume` appends this unconditionally is
+    safe; it only does so when the global tracer is enabled.
+
+    Args:
+        name: suffix of the fit span name (``fit:<name>``).
+        tracer: explicit tracer; defaults to the process-global one
+            (:func:`repro.obs.trace.get_tracer`), resolved at fit start
+            so a tracer scoped in later is still picked up.
+        checkpoint: the fit's :class:`Checkpoint` callback, if any —
+            epochs that wrote a checkpoint get a ``checkpoint`` event.
+    """
+
+    def __init__(
+        self,
+        name: str = "fit",
+        tracer: Optional[object] = None,
+        checkpoint: Optional[Checkpoint] = None,
+    ) -> None:
+        self.name = name
+        self._tracer = tracer
+        self._checkpoint = checkpoint
+        self._fit_span = None
+        self._epoch_span = None
+        self._saved_seen = 0
+
+    def _resolve(self):
+        if self._tracer is not None:
+            return self._tracer
+        from ..obs.trace import get_tracer
+
+        return get_tracer()
+
+    def on_fit_start(self, state: TrainState) -> None:
+        tracer = self._resolve()
+        if not getattr(tracer, "enabled", False):
+            return
+        self._saved_seen = self._checkpoint.saved if self._checkpoint else 0
+        span = tracer.span(
+            f"fit:{self.name}", attrs={"start_epoch": state.epoch}
+        )
+        if state.resumed_from is not None:
+            span.set("resumed_from", state.resumed_from)
+        self._fit_span = span.__enter__()
+
+    def on_epoch_start(self, state: TrainState) -> None:
+        if self._fit_span is None:
+            return
+        self._epoch_span = self._fit_span.tracer.span(
+            "epoch", attrs={"epoch": state.epoch + 1}
+        ).__enter__()
+
+    def on_epoch_end(self, state: TrainState) -> None:
+        if self._epoch_span is None:
+            return
+        losses = state.history.get("loss")
+        if losses:
+            self._epoch_span.set("loss", losses[-1])
+        # Runs after the Checkpoint callback (fit_or_resume appends this
+        # last), so a checkpoint written this epoch is visible here.
+        if self._checkpoint is not None and self._checkpoint.saved > self._saved_seen:
+            self._saved_seen = self._checkpoint.saved
+            self._epoch_span.event(
+                "checkpoint",
+                path=str(self._checkpoint.last_path),
+            )
+        self._epoch_span.__exit__(None, None, None)
+        self._epoch_span = None
+
+    def on_fit_end(self, state: TrainState) -> None:
+        if self._epoch_span is not None:  # stop mid-epoch: still close it
+            self._epoch_span.__exit__(None, None, None)
+            self._epoch_span = None
+        if self._fit_span is None:
+            return
+        self._fit_span.set("epochs", state.epoch)
+        if state.stop_reason:
+            self._fit_span.set("stop_reason", state.stop_reason)
+        self._fit_span.__exit__(None, None, None)
+        self._fit_span = None
+
+
 class Timer(Callback):
     """Record per-epoch and total wall time."""
 

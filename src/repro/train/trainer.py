@@ -30,8 +30,9 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..nn import Tensor
+from ..obs.trace import get_tracer
 from .batcher import FullBatch, Loader
-from .callbacks import Callback, Checkpoint
+from .callbacks import Callback, Checkpoint, TraceCallback
 from .state import TrainState, has_checkpoint, latest_checkpoint
 
 PathLike = Union[str, Path]
@@ -247,13 +248,20 @@ def fit_or_resume(
     where it was killed.
     """
     active = list(callbacks)
-    if checkpoint_dir is None:
-        return trainer.fit(model_step, state, loader, active)
-    active.append(
-        Checkpoint(
+    checkpoint_cb: Optional[Checkpoint] = None
+    if checkpoint_dir is not None:
+        checkpoint_cb = Checkpoint(
             checkpoint_dir,
             every_n=max(1, checkpoint_every),
             extra_writer=extra_writer,
         )
-    )
+        active.append(checkpoint_cb)
+    # Appended last so its epoch-end hook sees the checkpoint the
+    # Checkpoint callback just wrote.  Enabled-tracer only: with the
+    # default environment this adds nothing to the hot loop.
+    tracer = get_tracer()
+    if tracer.enabled:
+        active.append(TraceCallback(tracer=tracer, checkpoint=checkpoint_cb))
+    if checkpoint_dir is None:
+        return trainer.fit(model_step, state, loader, active)
     return trainer.resume(checkpoint_dir, model_step, state, loader, active)

@@ -1,0 +1,84 @@
+"""Unit tests for structured logging and the rotating JSONL sink."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import JsonlSink, StructLogger, get_logger, read_jsonl
+
+
+class TestStructLogger:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = StructLogger("repro.test", stream=stream)
+        logger.warning("worker_exited", worker=1, pid=42)
+        logger.info("ready")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["level"] == "warning"
+        assert first["logger"] == "repro.test"
+        assert first["event"] == "worker_exited"
+        assert first["worker"] == 1
+        assert first["pid"] == 42
+        assert isinstance(first["ts"], float)
+        assert json.loads(lines[1])["level"] == "info"
+
+    def test_non_json_values_fall_back_to_str(self):
+        stream = io.StringIO()
+        StructLogger("t", stream=stream).error("boom", exc=ValueError("x"))
+        record = json.loads(stream.getvalue())
+        assert "x" in record["exc"]
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        stream.close()
+        StructLogger("t", stream=stream).info("late")  # must not raise
+
+    def test_get_logger_shares_instances(self):
+        assert get_logger("repro.shared") is get_logger("repro.shared")
+
+
+class TestJsonlSink:
+    def test_append_and_read_back(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write({"name": "a"})
+            sink.write({"name": "b"})
+        assert [r["name"] for r in read_jsonl(path)] == ["a", "b"]
+
+    def test_rotation_keeps_generations(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSink(path, max_bytes=64, backups=2)
+        for i in range(24):
+            sink.write({"i": i, "pad": "x" * 16})
+        sink.close()
+        assert path.exists()
+        assert path.with_name("spans.jsonl.1").exists()
+        assert path.with_name("spans.jsonl.2").exists()
+        assert not path.with_name("spans.jsonl.3").exists()
+        # The live file always names the newest data.
+        live = read_jsonl(path)
+        older = read_jsonl(path.with_name("spans.jsonl.1"))
+        assert live[-1]["i"] == 23
+        assert older[-1]["i"] < 23
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"name": "ok"}\n{"name": "to')  # torn mid-record
+        assert [r["name"] for r in read_jsonl(path)] == ["ok"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"name": "ok"}\nGARBAGE\n{"name": "later"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "x.jsonl", max_bytes=-1)
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "x.jsonl", backups=0)

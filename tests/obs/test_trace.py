@@ -1,0 +1,226 @@
+"""Unit tests for the span/tracer core of ``repro.obs``."""
+
+import threading
+
+import pytest
+
+from repro import chaos
+from repro.obs.trace import (
+    SpanContext,
+    Tracer,
+    chrome_trace,
+    current_span,
+    format_header,
+    get_tracer,
+    parse_header,
+    set_tracer,
+    spans_from_chrome,
+)
+
+
+class TestIds:
+    def test_deterministic_for_seed_and_order(self):
+        a = Tracer(sample=1.0, seed=7)
+        b = Tracer(sample=1.0, seed=7)
+        ids_a = [a.start_span(f"s{i}").span_id for i in range(5)]
+        ids_b = [b.start_span(f"s{i}").span_id for i in range(5)]
+        assert ids_a == ids_b
+
+    def test_trace_and_span_id_shapes(self):
+        span = Tracer(sample=1.0, seed=3).start_span("op")
+        assert len(span.trace_id) == 16
+        assert len(span.span_id) == 8
+        int(span.trace_id, 16)  # hex or raise
+        int(span.span_id, 16)
+
+    def test_different_seeds_different_traces(self):
+        assert (
+            Tracer(seed=1).start_span("x").trace_id
+            != Tracer(seed=2).start_span("x").trace_id
+        )
+
+
+class TestHeader:
+    def test_round_trip(self):
+        span = Tracer(sample=1.0, seed=11).start_span("op")
+        ctx = parse_header(format_header(span))
+        assert ctx == SpanContext(span.trace_id, span.span_id)
+
+    def test_bare_trace_id_accepted(self):
+        ctx = parse_header("0123456789abcdef")
+        assert ctx is not None
+        assert ctx.trace_id == "0123456789abcdef"
+        assert ctx.span_id == ""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "short",
+            "0123456789abcdef-zz",
+            "0123456789abcdeg",  # non-hex
+            "0123456789abcdef-0011223344",  # span id too long
+            "x" * 16,
+        ],
+    )
+    def test_malformed_dropped(self, value):
+        assert parse_header(value) is None
+
+
+class TestParenting:
+    def test_explicit_parent_wins(self):
+        tracer = Tracer(sample=1.0)
+        root = tracer.start_span("root")
+        child = tracer.start_span("child", parent=root.context())
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_active_span_adopted(self):
+        tracer = Tracer(sample=1.0)
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            inner = tracer.start_span("inner")
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+        assert current_span() is None
+
+    def test_thread_isolation(self):
+        tracer = Tracer(sample=1.0)
+        seen = {}
+
+        def worker():
+            seen["active"] = current_span()
+
+        with tracer.span("outer"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["active"] is None  # not inherited across threads
+
+    def test_exception_sets_error_attr(self):
+        tracer = Tracer(sample=1.0)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError("nope")
+        assert "RuntimeError" in span.attrs["error"]
+        assert span.duration_s is not None
+
+
+class TestRingAndSampling:
+    def test_ring_bounded_newest_win(self):
+        tracer = Tracer(sample=1.0, ring_size=3)
+        for i in range(10):
+            tracer.start_span(f"s{i}").end()
+        spans = tracer.drain()
+        assert [s["name"] for s in spans] == ["s7", "s8", "s9"]
+
+    def test_sampling_rate_exact(self):
+        tracer = Tracer(sample=0.25, seed=0)
+        decisions = [tracer.sample_decision() for _ in range(100)]
+        assert sum(decisions) == 25
+
+    def test_sampling_deterministic(self):
+        a = Tracer(sample=0.3, seed=9)
+        b = Tracer(sample=0.3, seed=9)
+        assert [a.sample_decision() for _ in range(50)] == [
+            b.sample_decision() for _ in range(50)
+        ]
+
+    def test_disabled_tracer_samples_nothing(self):
+        tracer = Tracer(sample=0.0)
+        assert not tracer.enabled
+        assert not any(tracer.sample_decision() for _ in range(100))
+
+    def test_instant_dropped_when_disabled(self):
+        tracer = Tracer(sample=0.0)
+        tracer.instant("registry.swap", version="v1")
+        assert tracer.drain() == []
+
+    def test_instant_recorded_when_enabled(self):
+        tracer = Tracer(sample=1.0)
+        tracer.instant("registry.swap", version="v1")
+        (span,) = tracer.drain()
+        assert span["name"] == "registry.swap"
+        assert span["attrs"]["version"] == "v1"
+        assert span["dur_s"] == 0.0
+
+    def test_drain_filter_and_limit(self):
+        tracer = Tracer(sample=1.0)
+        with tracer.span("root") as root:
+            tracer.start_span("child").end()
+        other = tracer.start_span("other")
+        other.end()
+        by_trace = tracer.drain(trace_id=root.trace_id)
+        assert {s["name"] for s in by_trace} == {"root", "child"}
+        assert len(tracer.drain(limit=1)) == 1
+
+
+class TestRecordChild:
+    def test_child_from_stamps(self):
+        tracer = Tracer(sample=1.0)
+        root = tracer.start_span("root")
+        t0 = root.start_perf
+        child = tracer.record_child(root, "phase", t0 + 0.01, t0 + 0.03)
+        assert child.parent_id == root.span_id
+        assert child.duration_s == pytest.approx(0.02)
+        assert child.start_wall == pytest.approx(root.start_wall + 0.01)
+
+
+class TestChromeRoundTrip:
+    def test_round_trip(self):
+        tracer = Tracer(sample=1.0, seed=4)
+        with tracer.span("root", attrs={"k": 3}) as root:
+            tracer.start_span("child").end()
+        spans = tracer.drain()
+        document = chrome_trace(spans, service="svc")
+        assert document["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert phases == {"M", "X"}
+        back = spans_from_chrome(document)
+        assert len(back) == len(spans)
+        for original, restored in zip(spans, back):
+            assert restored["name"] == original["name"]
+            assert restored["trace"] == original["trace"]
+            assert restored["span"] == original["span"]
+            assert restored["parent"] == original["parent"]
+            assert restored["attrs"] == original["attrs"]
+            assert restored["start"] == pytest.approx(original["start"])
+            assert restored["dur_s"] == pytest.approx(
+                original["dur_s"], abs=1e-9
+            )
+        assert root.attrs["k"] == 3
+
+
+class TestGlobalTracer:
+    def test_set_and_restore(self):
+        mine = Tracer(sample=1.0)
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+
+    def test_env_default_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+        previous = set_tracer(None)
+        try:
+            assert not get_tracer().enabled
+        finally:
+            set_tracer(previous)
+
+
+class TestChaosAnnotation:
+    def test_failpoint_annotates_active_span(self):
+        tracer = Tracer(sample=1.0)
+        with chaos.chaos("gateway.score=sleep:1"):
+            with tracer.span("request") as span:
+                chaos.failpoint("gateway.score")
+        events = [e for e in span.events if e["name"] == "chaos"]
+        assert len(events) == 1
+        assert events[0]["point"] == "gateway.score"
+        assert events[0]["action"] == "sleep"
+
+    def test_no_active_span_is_harmless(self):
+        with chaos.chaos("gateway.score=sleep:1"):
+            chaos.failpoint("gateway.score")  # must not raise

@@ -1,0 +1,116 @@
+"""Tests for the ``repro trace`` CLI (summary / slowest / export)."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import export, load_spans_file, slowest, summarize
+from repro.obs.cli import main as trace_main
+from repro.obs.trace import Tracer, chrome_trace, spans_from_chrome
+from repro.pipeline.cli import main as repro_main
+
+
+@pytest.fixture()
+def spans():
+    """A two-trace span set with a parent/child pair."""
+    tracer = Tracer(sample=1.0, seed=13)
+    with tracer.span("request.suggest") as root:
+        tracer.record_child(
+            root, "parse", root.start_perf, root.start_perf + 0.002
+        )
+        tracer.record_child(
+            root, "score", root.start_perf + 0.002, root.start_perf + 0.010
+        )
+    tracer.start_span("request.suggest").end()
+    return tracer.drain()
+
+
+class TestLoading:
+    def test_jsonl(self, tmp_path, spans):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("".join(json.dumps(s) + "\n" for s in spans))
+        assert load_spans_file(path) == spans
+
+    def test_chrome_export(self, tmp_path, spans):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(chrome_trace(spans)))
+        loaded = load_spans_file(path)
+        assert [s["span"] for s in loaded] == [s["span"] for s in spans]
+
+    def test_trace_endpoint_payload(self, tmp_path, spans):
+        path = tmp_path / "payload.json"
+        path.write_text(json.dumps({"spans": spans, "count": len(spans)}))
+        assert load_spans_file(path) == spans
+
+    def test_run_manifest(self, tmp_path, spans):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps({"run_id": "r1", "trace": spans}))
+        assert load_spans_file(path) == spans
+
+    def test_unrecognized_object(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"nothing": True}))
+        with pytest.raises(ValueError):
+            load_spans_file(path)
+
+
+class TestRendering:
+    def test_summary_table(self, spans):
+        text = summarize(spans)
+        assert "request.suggest" in text
+        assert "parse" in text
+        assert "2 trace(s)" in text
+
+    def test_slowest_tree_indents_children(self, spans):
+        text = slowest(spans, n=1)
+        assert text.startswith("trace ")
+        lines = text.splitlines()
+        root_line = next(l for l in lines if "request.suggest" in l)
+        child_line = next(l for l in lines if "score" in l)
+        indent = lambda l: len(l) - len(l.lstrip())  # noqa: E731
+        assert indent(child_line) > indent(root_line)
+
+    def test_empty(self):
+        assert summarize([]) == "no spans"
+        assert slowest([], 3) == "no traces"
+
+
+class TestExport:
+    def test_round_trip(self, tmp_path, spans):
+        out = tmp_path / "chrome.json"
+        export(spans, out)
+        document = json.loads(out.read_text())
+        assert "traceEvents" in document
+        back = spans_from_chrome(document)
+        assert [s["span"] for s in back] == [s["span"] for s in spans]
+        assert [s["parent"] for s in back] == [s["parent"] for s in spans]
+
+
+class TestCliWiring:
+    def test_repro_trace_summary(self, tmp_path, spans, capsys):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("".join(json.dumps(s) + "\n" for s in spans))
+        assert repro_main(["trace", "summary", "--input", str(path)]) == 0
+        assert "request.suggest" in capsys.readouterr().out
+
+    def test_repro_trace_export(self, tmp_path, spans, capsys):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("".join(json.dumps(s) + "\n" for s in spans))
+        out = tmp_path / "chrome.json"
+        assert (
+            repro_main(
+                ["trace", "export", "--input", str(path), "-o", str(out)]
+            )
+            == 0
+        )
+        assert len(spans_from_chrome(json.loads(out.read_text()))) == len(spans)
+
+    def test_standalone_entry(self, tmp_path, spans, capsys):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("".join(json.dumps(s) + "\n" for s in spans))
+        assert trace_main(["slowest", "--input", str(path), "-n", "2"]) == 0
+        assert "trace " in capsys.readouterr().out
+
+    def test_no_source_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            trace_main(["summary"])

@@ -60,6 +60,35 @@ class TestRoundTrip:
         assert m.versions == versions
 
 
+class TestEmbeddedTrace:
+    def test_trace_round_trips(self, tmp_path):
+        m = _manifest()
+        m.trace = [
+            {
+                "name": "run:table1", "trace": "00000b0000000001",
+                "span": "00000001", "parent": None, "start": 100.0,
+                "dur_s": 5.0, "pid": 1234, "tid": 1,
+                "attrs": {"run_id": m.run_id}, "events": [],
+            },
+            {
+                "name": "stage:table1.result", "trace": "00000b0000000001",
+                "span": "00000002", "parent": "00000001", "start": 100.1,
+                "dur_s": 4.8, "pid": 1234, "tid": 1,
+                "attrs": {"cache_hit": False}, "events": [],
+            },
+        ]
+        path = m.save(tmp_path)
+        again = RunManifest.load(path)
+        assert again.trace == m.trace
+        assert again.to_dict() == m.to_dict()
+
+    def test_old_manifests_default_to_no_trace(self):
+        data = _manifest().to_dict()
+        data.pop("trace", None)
+        again = RunManifest.from_dict(data)
+        assert again.trace is None
+
+
 class TestLoadManifests:
     def test_sorted_by_start_time(self, tmp_path):
         _manifest("b-run", started=200.0).save(tmp_path)

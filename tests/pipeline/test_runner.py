@@ -204,3 +204,47 @@ class TestCLI:
         text = render_report(cfg.resolved_runs_dir())
         assert "| Stage | Cache |" in text
         assert "`fig3.result`" in text
+
+
+class TestRunTracing:
+    def test_manifest_carries_run_and_stage_spans(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        _, manifest = run_experiment("fig3", cfg)
+        assert manifest.trace
+        names = [s["name"] for s in manifest.trace]
+        assert "run:fig3" in names
+        stage_spans = [
+            s for s in manifest.trace if s["name"].startswith("stage:")
+        ]
+        assert {s["name"] for s in stage_spans} >= {"stage:fig3.result"}
+        root = next(s for s in manifest.trace if s["name"] == "run:fig3")
+        assert root["parent"] is None
+        assert root["attrs"]["run_id"] == manifest.run_id
+        # Every stage span nests under the run root of the same trace.
+        for span in stage_spans:
+            assert span["parent"] == root["span"]
+            assert span["trace"] == root["trace"]
+
+    def test_cache_hits_annotated(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        run_experiment("fig3", cfg)
+        _, second = run_experiment("fig3", cfg)
+        stage = next(
+            s for s in second.trace if s["name"] == "stage:fig3.result"
+        )
+        assert stage["attrs"]["cache_hit"] is True
+
+    def test_trace_survives_manifest_save(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        _, manifest = run_experiment("fig3", cfg)
+        loaded = load_manifests(cfg.resolved_runs_dir())
+        match = next(m for m in loaded if m.run_id == manifest.run_id)
+        assert match.trace == manifest.trace
+
+    def test_report_renders_trace_waterfall(self, tmp_path):
+        cfg = _cfg(tmp_path)
+        run_experiment("fig3", cfg)
+        text = render_report(cfg.resolved_runs_dir())
+        assert "Trace:" in text
+        assert "run:fig3" in text
+        assert "stage:fig3.result" in text

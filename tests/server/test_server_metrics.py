@@ -8,6 +8,12 @@ from repro.server import (
     GatewayMetrics,
     LatencyReservoir,
 )
+from repro.server.metrics import (
+    PHASE_BUCKETS,
+    LatencyHistogram,
+    _escape_label_value,
+    _help_text,
+)
 
 
 class TestCounterSet:
@@ -106,3 +112,75 @@ class TestRender:
         metrics = GatewayMetrics()
         assert metrics.latency("a") is metrics.latency("a")
         assert metrics.latency("a") is not metrics.latency("b")
+
+    def test_every_family_has_help_and_type(self):
+        """Prometheus text-format compliance: # HELP precedes # TYPE."""
+        metrics = GatewayMetrics(reservoir_size=16)
+        metrics.observe_request("suggest", 200, 0.004)
+        metrics.batch_sizes.observe(4)
+        metrics.observe_phases([("parse", 0.0001), ("score", 0.002)])
+        text = metrics.render(
+            extra_gauges=[("repro_server_uptime_seconds", {}, 1.5)]
+        )
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+                assert lines[i - 1] == f"# HELP {family} {_help_text(family)}", (
+                    f"family {family} lacks a preceding HELP line"
+                )
+
+    def test_escaped_label_values_in_render(self):
+        metrics = GatewayMetrics(reservoir_size=16)
+        metrics.counters.inc("weird_total", {"path": 'a\\b"c\nd'})
+        text = metrics.render()
+        assert 'path="a\\\\b\\"c\\nd"' in text
+
+
+class TestLabelEscaping:
+    def test_backslash_escaped_first(self):
+        # A pre-escaped quote must not be double-escaped out of order.
+        assert _escape_label_value('\\"') == '\\\\\\"'
+
+    def test_plain_values_untouched(self):
+        assert _escape_label_value("v0001-abc") == "v0001-abc"
+
+    def test_newline_becomes_literal_backslash_n(self):
+        assert _escape_label_value("a\nb") == "a\\nb"
+
+
+class TestLatencyHistogram:
+    def test_cumulative_buckets(self):
+        hist = LatencyHistogram(buckets=(0.001, 0.01, 0.1))
+        for seconds in (0.0005, 0.002, 0.05, 5.0):
+            hist.observe(seconds)
+        cumulative = dict(hist.cumulative())
+        assert cumulative["0.001"] == 1
+        assert cumulative["0.01"] == 2
+        assert cumulative["0.1"] == 3
+        assert cumulative["+Inf"] == 4
+        assert hist.count == 4
+        assert abs(hist.total - 5.0525) < 1e-9
+
+    def test_default_phase_buckets_are_monotone(self):
+        assert list(PHASE_BUCKETS) == sorted(PHASE_BUCKETS)
+
+    def test_phase_histograms_shared_per_name(self):
+        metrics = GatewayMetrics()
+        assert metrics.phase("parse") is metrics.phase("parse")
+        metrics.observe_phases([("parse", -0.5)])  # clamped, not negative
+        assert metrics.phase("parse").total == 0.0
+        assert metrics.phase("parse").count == 1
+
+    def test_phase_section_rendered_only_when_observed(self):
+        metrics = GatewayMetrics(reservoir_size=16)
+        assert "phase_latency" not in metrics.render()
+        metrics.observe_phases([("queue_wait", 0.003)])
+        text = metrics.render()
+        assert (
+            'repro_server_phase_latency_seconds_bucket{le="0.0025",'
+            'phase="queue_wait"} 0' in text
+            or 'repro_server_phase_latency_seconds_bucket{phase="queue_wait",'
+            'le="0.0025"} 0' in text
+        )
+        assert 'repro_server_phase_latency_seconds_count{phase="queue_wait"} 1' in text

@@ -1,0 +1,98 @@
+"""Cross-process trace continuity over the pre-fork worker pool.
+
+A client sends ``X-Repro-Trace`` to a ``--workers 2`` pool; the worker
+that serves the request (a child of the supervisor) joins the client's
+trace.  Merging the client-side root span with the spans fetched back
+from ``GET /v1/trace`` must yield ONE trace whose spans carry at least
+two distinct pids — the test process's and the serving worker's — and
+that merged trace must round-trip through the Chrome exporter.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Tracer,
+    chrome_trace,
+    format_header,
+    spans_from_chrome,
+)
+
+
+def fetch_trace_spans(handle, trace_id, timeout=30.0):
+    """Poll ``GET /v1/trace`` until the worker holding the trace answers.
+
+    The kernel load-balances accepted connections across workers, and
+    each worker keeps its own span ring — retry until the GET lands on
+    the worker that served the traced request.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = handle.get(f"/v1/trace?trace={trace_id}")
+        if status == 200 and payload.get("spans"):
+            return payload["spans"]
+        time.sleep(0.05)
+    raise TimeoutError(f"no worker returned spans for trace {trace_id}")
+
+
+class TestCrossProcessTrace:
+    def test_one_trace_spans_client_and_worker_pids(
+        self, pool_factory, fitted_system
+    ):
+        _system, pool = fitted_system
+        handle = pool_factory(
+            workers=2, extra_args=["--trace-sample", "1.0"]
+        )
+        worker_pids = set(handle.worker_pids().values())
+
+        # Client side of the trace: a root span in the test process.
+        tracer = Tracer(sample=1.0, seed=99, service="test-client")
+        with tracer.span("client.request") as client_root:
+            status, body = handle.post(
+                "/v1/suggest",
+                {"features": np.asarray(pool[0]).tolist(), "k": 3},
+                headers={TRACE_HEADER: format_header(client_root)},
+            )
+        assert status == 200
+        assert body["trace_id"] == client_root.trace_id
+
+        server_spans = fetch_trace_spans(handle, client_root.trace_id)
+        merged = tracer.drain(trace_id=client_root.trace_id) + server_spans
+
+        # One trace...
+        assert {s["trace"] for s in merged} == {client_root.trace_id}
+        # ...rooted at the client span, continued by the worker...
+        server_root = next(
+            s for s in server_spans if s["name"] == "request.suggest"
+        )
+        assert server_root["parent"] == client_root.span_id
+        # ...across at least two processes: this one and a worker child.
+        pids = {s["pid"] for s in merged}
+        assert os.getpid() in pids
+        assert pids & worker_pids
+        assert len(pids) >= 2
+
+        # And the merged trace survives the Chrome export round trip.
+        document = chrome_trace(merged, service="pool-test")
+        restored = spans_from_chrome(document)
+        assert {s["span"] for s in restored} == {s["span"] for s in merged}
+        assert {s["pid"] for s in restored} == pids
+
+    def test_untraced_pool_requests_stay_silent(
+        self, pool_factory, fitted_system
+    ):
+        _system, pool = fitted_system
+        handle = pool_factory(workers=2)  # default: sampling off
+        status, body = handle.post(
+            "/v1/suggest", {"features": np.asarray(pool[0]).tolist()}
+        )
+        assert status == 200
+        assert "trace_id" not in body
+        # Every worker's ring is empty.
+        for _ in range(6):
+            status, payload = handle.get("/v1/trace")
+            assert status == 200
+            assert payload["spans"] == []

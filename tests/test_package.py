@@ -25,7 +25,7 @@ SUBPACKAGES = [
 
 class TestPackage:
     def test_version(self):
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
 
     @pytest.mark.parametrize("name", SUBPACKAGES)
     def test_subpackage_imports(self, name):

@@ -285,3 +285,70 @@ class TestCheckpointing:
         )
         assert has_checkpoint(tmp_path / "run")
         assert latest_checkpoint(tmp_path / "run").name == "epoch-000002"
+
+
+class TestTraceCallback:
+    def test_fit_and_epoch_spans(self):
+        from repro.obs.trace import Tracer
+        from repro.train import TraceCallback
+
+        step, state, _ = _quadratic_setup()
+        tracer = Tracer(sample=1.0, seed=5, service="test-train")
+        Trainer(3).fit(
+            step, state, callbacks=[TraceCallback(name="quad", tracer=tracer)]
+        )
+        spans = tracer.drain()
+        fit = next(s for s in spans if s["name"] == "fit:quad")
+        assert fit["attrs"]["start_epoch"] == 0
+        assert fit["attrs"]["epochs"] == 3
+        epochs = [s for s in spans if s["name"] == "epoch"]
+        assert [s["attrs"]["epoch"] for s in epochs] == [1, 2, 3]
+        for span in epochs:
+            assert span["parent"] == fit["span"]
+            assert span["attrs"]["loss"] >= 0.0
+
+    def test_disabled_tracer_is_a_noop(self):
+        from repro.obs.trace import Tracer
+        from repro.train import TraceCallback
+
+        step, state, _ = _quadratic_setup()
+        tracer = Tracer(sample=0.0, seed=5)
+        Trainer(2).fit(
+            step, state, callbacks=[TraceCallback(tracer=tracer)]
+        )
+        assert tracer.drain() == []
+
+    def test_fit_or_resume_traces_checkpoint_events(self, tmp_path):
+        from repro.obs.trace import Tracer, set_tracer
+        from repro.train import fit_or_resume
+
+        step, state, _ = _quadratic_setup()
+        tracer = Tracer(sample=1.0, seed=7, service="test-train")
+        previous = set_tracer(tracer)
+        try:
+            fit_or_resume(
+                Trainer(4),
+                step,
+                state,
+                checkpoint_dir=tmp_path / "run",
+                checkpoint_every=2,
+            )
+        finally:
+            set_tracer(previous)
+        spans = tracer.drain()
+        epochs = [s for s in spans if s["name"] == "epoch"]
+        assert len(epochs) == 4
+        checkpointed = [
+            s["attrs"]["epoch"]
+            for s in epochs
+            if any(e["name"] == "checkpoint" for e in s["events"])
+        ]
+        # Cadence writes at epochs 2 and 4; the final save happens in
+        # on_fit_end, after the last epoch span has closed.
+        assert checkpointed == [2, 4]
+        for span in epochs:
+            path_events = [
+                e for e in span["events"] if e["name"] == "checkpoint"
+            ]
+            for event in path_events:
+                assert "epoch-" in event["path"]
